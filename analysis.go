@@ -1,0 +1,93 @@
+package mixtime
+
+import (
+	"math/rand/v2"
+
+	"mixtime/internal/centrality"
+	"mixtime/internal/community"
+	"mixtime/internal/sybil"
+	"mixtime/internal/whanau"
+)
+
+// --- Community detection ---------------------------------------------
+
+// CommunityLabels assigns every vertex a community id.
+type CommunityLabels = community.Labels
+
+// Louvain detects communities by greedy modularity optimization.
+// Slow mixing and community structure are two views of the same
+// thing (§3.2/§5 of the paper); Louvain exposes the structure
+// directly.
+func Louvain(g *Graph, seed uint64) CommunityLabels {
+	return community.Louvain(g, rand.New(rand.NewPCG(seed, 0x10a)))
+}
+
+// LabelPropagation detects communities by iterative majority
+// labeling.
+func LabelPropagation(g *Graph, maxSweeps int, seed uint64) CommunityLabels {
+	return community.LabelPropagation(g, maxSweeps, rand.New(rand.NewPCG(seed, 0x10b)))
+}
+
+// Modularity returns Newman's modularity of a labeling.
+func Modularity(g *Graph, l CommunityLabels) float64 { return community.Modularity(g, l) }
+
+// --- Centrality -------------------------------------------------------
+
+// Betweenness returns exact shortest-path betweenness (Brandes) —
+// the ranking behind the betweenness-based Sybil defense the paper
+// cites [19].
+func Betweenness(g *Graph) []float64 { return centrality.Betweenness(g) }
+
+// SampledBetweenness estimates betweenness from k pivot sources.
+func SampledBetweenness(g *Graph, k int, seed uint64) []float64 {
+	return centrality.SampledBetweenness(g, k, rand.New(rand.NewPCG(seed, 0x10c)))
+}
+
+// Closeness returns closeness centrality.
+func Closeness(g *Graph) []float64 { return centrality.Closeness(g) }
+
+// PageRank returns the damped PageRank vector (d ≤ 0 defaults to
+// 0.85).
+func PageRank(g *Graph, d float64) []float64 { return centrality.PageRank(g, d, 0, 0) }
+
+// PersonalizedPageRank returns random-walk-with-restart scores from
+// source — the "connectivity to the trusted node" core that Viswanath
+// et al. showed underlies the random-walk Sybil defenses.
+func PersonalizedPageRank(g *Graph, source NodeID, d float64) []float64 {
+	return centrality.PersonalizedPageRank(g, source, d, 0, 0)
+}
+
+// TopNodes returns the indices of the k largest scores, descending.
+func TopNodes(scores []float64, k int) []NodeID { return centrality.Top(scores, k) }
+
+// --- SumUp -------------------------------------------------------------
+
+// SumUpConfig parameterizes SumUp vote collection.
+type SumUpConfig = sybil.SumUpConfig
+
+// SumUpResult reports a vote collection.
+type SumUpResult = sybil.SumUpResult
+
+// SumUp collects votes at the collector through SumUp's max-flow
+// envelope, bounding bogus votes by the number of attack edges.
+func SumUp(g *Graph, collector NodeID, voters []NodeID, cfg SumUpConfig) (*SumUpResult, error) {
+	return sybil.SumUp(g, collector, voters, cfg)
+}
+
+// --- Whānau -------------------------------------------------------------
+
+// WhanauConfig parameterizes Whānau table construction.
+type WhanauConfig = whanau.Config
+
+// WhanauDHT is a built Whānau instance.
+type WhanauDHT = whanau.DHT
+
+// WhanauKey is a position on the DHT ring.
+type WhanauKey = whanau.Key
+
+// BuildWhanau constructs Whānau routing tables from random walks of
+// length cfg.W over the social graph. Lookup success tracks how close
+// walks of that length get to the stationary distribution.
+func BuildWhanau(g *Graph, cfg WhanauConfig) (*WhanauDHT, error) {
+	return whanau.Build(g, cfg)
+}

@@ -1,0 +1,74 @@
+package mixtime_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mixtime"
+)
+
+func TestFacadeCommunityAndCentrality(t *testing.T) {
+	g := mixtime.PlantedPartition(3, 60, 0.3, 0.005, 5)
+	lcc, _ := mixtime.LargestComponent(g)
+
+	labels := mixtime.Louvain(lcc, 1)
+	q := mixtime.Modularity(lcc, labels)
+	if q < 0.4 {
+		t.Fatalf("Louvain modularity %v on planted partition", q)
+	}
+	lpa := mixtime.LabelPropagation(lcc, 50, 1)
+	if mixtime.Modularity(lcc, lpa) < 0.3 {
+		t.Fatalf("LPA modularity %v", mixtime.Modularity(lcc, lpa))
+	}
+
+	bc := mixtime.Betweenness(lcc)
+	if len(bc) != lcc.NumNodes() {
+		t.Fatal("betweenness size")
+	}
+	top := mixtime.TopNodes(bc, 3)
+	if len(top) != 3 {
+		t.Fatal("TopNodes")
+	}
+	pr := mixtime.PageRank(lcc, 0.85)
+	var sum float64
+	for _, p := range pr {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("PageRank sum %v", sum)
+	}
+	ppr := mixtime.PersonalizedPageRank(lcc, 0, 0.85)
+	if mixtime.TopNodes(ppr, 1)[0] != 0 {
+		t.Fatal("PPR restart node not top")
+	}
+	cl := mixtime.Closeness(lcc)
+	if len(cl) != lcc.NumNodes() || cl[0] <= 0 {
+		t.Fatal("closeness")
+	}
+	sb := mixtime.SampledBetweenness(lcc, 20, 2)
+	if len(sb) != lcc.NumNodes() {
+		t.Fatal("sampled betweenness size")
+	}
+}
+
+func TestFacadeSumUpAndWhanau(t *testing.T) {
+	g := mixtime.BarabasiAlbert(300, 5, 9)
+
+	voters := mixtime.AllHonest(g, 0)
+	res, err := mixtime.SumUp(g, 0, voters, mixtime.SumUpConfig{Cmax: len(voters)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CollectionRate() < 0.85 {
+		t.Fatalf("SumUp collection %v", res.CollectionRate())
+	}
+
+	dht, err := mixtime.BuildWhanau(g, mixtime.WhanauConfig{W: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	if rate := dht.SuccessRate(200, rng); rate < 0.8 {
+		t.Fatalf("Whānau success %v", rate)
+	}
+}

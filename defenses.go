@@ -1,0 +1,81 @@
+package mixtime
+
+import (
+	"math/rand/v2"
+
+	"mixtime/internal/metrics"
+	"mixtime/internal/sybil"
+)
+
+// --- SybilGuard -------------------------------------------------------
+
+// SybilGuardConfig parameterizes the SybilGuard baselines.
+type SybilGuardConfig = sybil.GuardConfig
+
+// SybilGuardResult reports a SybilGuard verification sweep.
+type SybilGuardResult = sybil.GuardResult
+
+// SybilGuard runs the single-route SybilGuard baseline (verifier and
+// suspects each walk one random route of length w; vertex
+// intersection admits).
+func SybilGuard(g *Graph, verifier NodeID, suspects []NodeID, cfg SybilGuardConfig) (*SybilGuardResult, error) {
+	return sybil.SybilGuard(g, verifier, suspects, cfg)
+}
+
+// SybilGuardFull runs SybilGuard as published: one route per edge on
+// both sides, and every verifier route must intersect the suspect.
+func SybilGuardFull(g *Graph, verifier NodeID, suspects []NodeID, cfg SybilGuardConfig) (*SybilGuardResult, error) {
+	return sybil.SybilGuardFull(g, verifier, suspects, cfg)
+}
+
+// SybilGuardWalkLength returns SybilGuard's prescribed route length
+// ⌈√(n·ln n)⌉.
+func SybilGuardWalkLength(n int) int { return sybil.GuardWalkLength(n) }
+
+// --- SybilInfer -------------------------------------------------------
+
+// SybilInferConfig parameterizes the SybilInfer detector.
+type SybilInferConfig = sybil.InferConfig
+
+// SybilInferResult carries the per-node honest-probability marginals.
+type SybilInferResult = sybil.InferResult
+
+// SybilInfer runs the Bayesian Sybil detector of Danezis & Mittal
+// over short-walk traces. Its power rests on the fast-mixing
+// assumption this library measures.
+func SybilInfer(g *Graph, cfg SybilInferConfig) (*SybilInferResult, error) {
+	return sybil.SybilInfer(g, cfg)
+}
+
+// --- SybilRank --------------------------------------------------------
+
+// SybilRank propagates trust from seed nodes by power iteration
+// terminated after iterations steps (≤ 0: ⌈log₂ n⌉, the published
+// choice) and returns degree-normalized scores — the early-termination
+// defense that makes the O(log n) mixing assumption most literal.
+func SybilRank(g *Graph, seeds []NodeID, iterations int) ([]float64, error) {
+	return sybil.SybilRank(g, seeds, iterations)
+}
+
+// --- Structural metrics ----------------------------------------------
+
+// DegreeStats summarizes a degree sequence.
+type DegreeStats = metrics.DegreeStats
+
+// Degrees computes degree statistics for g.
+func Degrees(g *Graph) DegreeStats { return metrics.Degrees(g) }
+
+// AverageClustering returns the mean local clustering coefficient.
+func AverageClustering(g *Graph) float64 { return metrics.AverageClustering(g) }
+
+// GlobalClustering returns the transitivity (3×triangles/wedges).
+func GlobalClustering(g *Graph) float64 { return metrics.GlobalClustering(g) }
+
+// Assortativity returns Newman's degree assortativity in [−1, 1].
+func Assortativity(g *Graph) float64 { return metrics.Assortativity(g) }
+
+// SampledPathLength estimates the mean shortest-path length from k
+// BFS sources.
+func SampledPathLength(g *Graph, k int, seed uint64) float64 {
+	return metrics.SampledPathLength(g, k, rand.New(rand.NewPCG(seed, 0x9a7)))
+}

@@ -1,0 +1,81 @@
+package mixtime_test
+
+import (
+	"math"
+	"testing"
+
+	"mixtime"
+)
+
+func TestFacadeDirectedPipeline(t *testing.T) {
+	// A directed crawl: a strongly connected core plus a dangling tail.
+	b := mixtime.NewDiBuilder(0)
+	// Chord offsets +1 and +2 give coprime cycle lengths (10 and 9),
+	// so the directed walk is aperiodic.
+	for i := 0; i < 10; i++ {
+		b.AddArc(mixtime.NodeID(i), mixtime.NodeID((i+1)%10))
+		b.AddArc(mixtime.NodeID(i), mixtime.NodeID((i+2)%10))
+	}
+	b.AddArc(3, 20) // one-way tail: not in the SCC
+	dg := b.Build()
+
+	scc, orig := mixtime.LargestSCC(dg)
+	if scc.NumNodes() != 10 {
+		t.Fatalf("SCC has %d nodes (map %v)", scc.NumNodes(), orig)
+	}
+	chain, err := mixtime.NewDirectedChain(scc, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := chain.TraceFrom(0, 400)
+	if tr.TV[399] > 1e-6 {
+		t.Fatalf("directed walk TV after 400 steps: %v", tr.TV[399])
+	}
+
+	// The paper's preprocessing path: symmetrize, then measure.
+	ug := mixtime.Symmetrize(dg)
+	m, err := mixtime.Measure(ug, mixtime.Options{Sources: 10, MaxWalk: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mu() <= 0 || m.Mu() >= 1 {
+		t.Fatalf("symmetrized µ = %v", m.Mu())
+	}
+}
+
+func TestFacadeTrustChain(t *testing.T) {
+	g := mixtime.RelaxedCaveman(30, 6, 0.05, 3)
+	lcc, _ := mixtime.LargestComponent(g)
+
+	plain, err := mixtime.WeightedSLEM(lcc, mixtime.UniformTrust(lcc), mixtime.SpectralOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jac, err := mixtime.WeightedSLEM(lcc, mixtime.JaccardTrust(lcc), mixtime.SpectralOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jac.Mu <= plain.Mu {
+		t.Fatalf("similarity trust µ=%v not slower than plain µ=%v", jac.Mu, plain.Mu)
+	}
+
+	c, err := mixtime.NewTrustChain(lcc, mixtime.InverseDegreeTrust(lcc), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := c.Stationary()
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-10 {
+		t.Fatalf("trust π sums to %v", sum)
+	}
+	est, err := c.SLEM(mixtime.SpectralOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mu <= 0 || est.Mu >= 1 {
+		t.Fatalf("trust µ = %v", est.Mu)
+	}
+}

@@ -1,0 +1,43 @@
+// Dataset study: measure every Table-1 dataset substitute at a small
+// scale and reproduce the paper's central comparison — the mixing
+// time each trust class actually needs versus the O(log n) the Sybil
+// defense literature assumes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mixtime"
+)
+
+func main() {
+	const (
+		scale   = 0.002
+		eps     = 0.1
+		sources = 100
+		maxWalk = 800
+	)
+	fmt.Printf("%-14s %-12s %8s %9s %9s %7s %7s %7s\n",
+		"dataset", "kind", "nodes", "edges", "µ", "T(0.1)", "avg", "log n")
+	for _, d := range mixtime.Datasets() {
+		g := d.Generate(scale, 1)
+		m, err := mixtime.Measure(g, mixtime.Options{
+			Sources: sources, MaxWalk: maxWalk, Seed: 1,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", d.Name, err)
+		}
+		t, ok := m.SampledMixingTime(eps)
+		mark := ""
+		if !ok {
+			mark = "+" // lower bound: some sources never reached ε
+		}
+		fmt.Printf("%-14s %-12s %8d %9d %9.5f %6d%-1s %7.1f %7d\n",
+			d.Name, d.Kind, m.Graph.NumNodes(), m.Graph.NumEdges(),
+			m.Mu(), t, mark, m.AverageMixingTime(eps), m.FastMixingYardstick())
+	}
+	fmt.Println("\nT(0.1): sampled worst-case walk length to variation distance 0.1")
+	fmt.Println("avg:    average-case walk length (the paper argues designs should use this)")
+	fmt.Println("→ trust graphs (physics, dblp) need walks far beyond log n; online graphs come closer.")
+}

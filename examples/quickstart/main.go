@@ -1,0 +1,51 @@
+// Quickstart: build a graph, measure its mixing time both ways, and
+// compare against the O(log n) walk length Sybil defenses assume.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mixtime"
+)
+
+func main() {
+	// A 5,000-node preferential-attachment graph — the fast-mixing
+	// end of the social-graph spectrum.
+	g := mixtime.BarabasiAlbert(5_000, 5, 42)
+	fmt.Printf("graph: %d nodes, %d edges, avg degree %.1f\n",
+		g.NumNodes(), g.NumEdges(), g.AvgDegree())
+
+	// Measure: largest component, SLEM µ, and distance traces from
+	// 100 sampled start vertices.
+	m, err := mixtime.Measure(g, mixtime.Options{Sources: 100, MaxWalk: 200, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("µ (second largest eigenvalue modulus): %.5f\n", m.Mu())
+	fmt.Printf("assumed fast-mixing walk length (log n): %d\n", m.FastMixingYardstick())
+	fmt.Println()
+
+	for _, eps := range []float64{0.25, 0.1, 0.01} {
+		t, ok := m.SampledMixingTime(eps)
+		status := ""
+		if !ok {
+			status = "+"
+		}
+		fmt.Printf("ε=%-5.2g  sampled T(ε)=%3d%-1s  average=%5.1f  Sinclair bounds [%6.1f, %8.1f]\n",
+			eps, t, status, m.AverageMixingTime(eps), m.LowerBound(eps), m.UpperBound(eps))
+	}
+
+	// Contrast with a trust graph: a relaxed caveman (clustered
+	// cliques) of similar size mixes far more slowly.
+	slow := mixtime.RelaxedCaveman(700, 7, 0.03, 42)
+	ms, err := mixtime.Measure(slow, mixtime.Options{Sources: 100, MaxWalk: 2_000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, ok := ms.SampledMixingTime(0.1)
+	fmt.Printf("\ntrust-graph contrast (%d nodes): µ=%.5f, sampled T(0.1)=%d (reached=%v) vs log n = %d\n",
+		ms.Graph.NumNodes(), ms.Mu(), t, ok, ms.FastMixingYardstick())
+	fmt.Println("→ the paper's finding: social graphs mix much more slowly than Sybil defenses assume.")
+}

@@ -1,0 +1,49 @@
+// Trimming study (the paper's Figure 6): iteratively trim low-degree
+// nodes from the DBLP substitute — the preprocessing SybilGuard and
+// SybilLimit apply — and watch the mixing time improve while the
+// graph shrinks. The paper's point: the speedup is bought by denying
+// service to the trimmed users (DBLP loses ~76% of its nodes by trim
+// level 5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mixtime"
+)
+
+func main() {
+	d, err := mixtime.DatasetByName("dblp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := d.Generate(0.004, 1)
+	fmt.Printf("DBLP substitute: %d nodes, %d edges\n\n", full.NumNodes(), full.NumEdges())
+	fmt.Printf("%-7s %8s %9s %9s %9s %8s %9s\n",
+		"level", "nodes", "kept%", "edges", "µ", "T(0.1)", "avg")
+
+	base := -1
+	for level := 1; level <= 5; level++ {
+		trimmed, _ := mixtime.Trim(full, level)
+		lcc, _ := mixtime.LargestComponent(trimmed)
+		m, err := mixtime.Measure(lcc, mixtime.Options{
+			Sources: 100, MaxWalk: 1_000, Seed: 1, KeepWhole: true,
+		})
+		if err != nil {
+			log.Fatalf("level %d: %v", level, err)
+		}
+		if base < 0 {
+			base = lcc.NumNodes()
+		}
+		t, ok := m.SampledMixingTime(0.1)
+		mark := ""
+		if !ok {
+			mark = "+"
+		}
+		fmt.Printf("DBLP %-2d %8d %8.1f%% %9d %9.5f %7d%-1s %9.1f\n",
+			level, lcc.NumNodes(), 100*float64(lcc.NumNodes())/float64(base),
+			lcc.NumEdges(), m.Mu(), t, mark, m.AverageMixingTime(0.1))
+	}
+	fmt.Println("\n→ each trim level mixes faster, but 'DBLP 5' serves a fraction of 'DBLP 1's users.")
+}

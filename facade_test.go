@@ -1,0 +1,120 @@
+package mixtime_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"mixtime"
+)
+
+// TestFacadeSurfaceSweep exercises every remaining facade wrapper so
+// the public API is known to be wired to the right internals.
+func TestFacadeSurfaceSweep(t *testing.T) {
+	// Generators.
+	ws := mixtime.WattsStrogatz(120, 3, 0.1, 1)
+	if ws.NumNodes() != 120 {
+		t.Fatal("WattsStrogatz")
+	}
+	ff := mixtime.ForestFire(150, 0.3, 1)
+	if ff.NumNodes() != 150 || !mixtime.IsConnected(ff) {
+		t.Fatal("ForestFire")
+	}
+	kl := mixtime.Kleinberg(8, 2, 1)
+	if kl.NumNodes() != 64 {
+		t.Fatal("Kleinberg")
+	}
+	hk := mixtime.HolmeKim(150, 3, 0.5, 1)
+	if hk.NumNodes() != 150 {
+		t.Fatal("HolmeKim")
+	}
+
+	// Graph construction and IO.
+	g, err := mixtime.FromEdges(4, []mixtime.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}, {U: 0, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := mixtime.Coreness(g)
+	if core[0] != 2 || core[3] != 2 {
+		t.Fatalf("coreness %v", core)
+	}
+	path := filepath.Join(t.TempDir(), "g.mixg")
+	if err := mixtime.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mixtime.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatal("file round trip")
+	}
+
+	// Spectral wrappers.
+	k12 := mixtime.BarabasiAlbert(120, 4, 2)
+	est, err := mixtime.SLEM(k12, mixtime.SpectralOptions{Tol: 1e-8})
+	if err != nil || est.Mu <= 0 {
+		t.Fatalf("SLEM: %v %v", est, err)
+	}
+	pow, err := mixtime.SLEMPower(k12, mixtime.SpectralOptions{Tol: 1e-7})
+	if err != nil || math.Abs(pow.Mu-est.Mu) > 1e-3 {
+		t.Fatalf("SLEMPower %v vs %v (err %v)", pow.Mu, est.Mu, err)
+	}
+	prof, err := mixtime.SpectralProfile(k12, 3, mixtime.SpectralOptions{Tol: 1e-8})
+	if err != nil || len(prof) != 3 {
+		t.Fatalf("profile %v err %v", prof, err)
+	}
+	if math.Abs(prof[0]-est.Lambda2) > 1e-5 {
+		t.Fatalf("profile[0]=%v vs λ2=%v", prof[0], est.Lambda2)
+	}
+
+	// Defense wrappers.
+	guard, err := mixtime.SybilGuard(k12, 0, mixtime.AllHonest(k12, 0), mixtime.SybilGuardConfig{Seed: 1})
+	if err != nil || guard.W != mixtime.SybilGuardWalkLength(120) {
+		t.Fatalf("SybilGuard %v err %v", guard, err)
+	}
+	full, err := mixtime.SybilGuardFull(k12, 0, mixtime.AllHonest(k12, 0)[:30], mixtime.SybilGuardConfig{W: 25, Seed: 1})
+	if err != nil || full.AcceptRate() <= 0 {
+		t.Fatalf("SybilGuardFull %v err %v", full, err)
+	}
+	inf, err := mixtime.SybilInfer(k12, mixtime.SybilInferConfig{Samples: 10, Burn: 5, Seed: 1})
+	if err != nil || len(inf.HonestProb) != 120 {
+		t.Fatalf("SybilInfer err %v", err)
+	}
+	sr, err := mixtime.SybilRank(k12, []mixtime.NodeID{0}, 0)
+	if err != nil || len(sr) != 120 {
+		t.Fatalf("SybilRank err %v", err)
+	}
+
+	// Metrics wrappers.
+	deg := mixtime.Degrees(k12)
+	if deg.Min < 1 || deg.Max < deg.Min {
+		t.Fatalf("Degrees %+v", deg)
+	}
+	if c := mixtime.AverageClustering(k12); c < 0 || c > 1 {
+		t.Fatalf("clustering %v", c)
+	}
+	if c := mixtime.GlobalClustering(k12); c < 0 || c > 1 {
+		t.Fatalf("transitivity %v", c)
+	}
+	if a := mixtime.Assortativity(k12); a < -1 || a > 1 {
+		t.Fatalf("assortativity %v", a)
+	}
+	if p := mixtime.SampledPathLength(k12, 10, 1); p <= 0 {
+		t.Fatalf("path length %v", p)
+	}
+
+	// Directed lazy option.
+	b := mixtime.NewDiBuilder(0)
+	for i := 0; i < 5; i++ {
+		b.AddArc(mixtime.NodeID(i), mixtime.NodeID((i+1)%5))
+	}
+	dc, err := mixtime.NewDirectedChain(b.Build(), 1e-10, mixtime.LazyDirected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := dc.TraceFrom(0, 200)
+	if tr.TV[199] > 1e-3 {
+		t.Fatalf("lazy directed cycle TV %v", tr.TV[199])
+	}
+}

@@ -1,0 +1,3 @@
+module mixtime
+
+go 1.22

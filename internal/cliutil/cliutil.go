@@ -1,0 +1,56 @@
+// Package cliutil holds the small helpers the command-line tools
+// share: resolving a graph argument that may be a file path or a
+// "dataset:<name>[:scale]" reference into a loaded graph.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mixtime/internal/datasets"
+	"mixtime/internal/graph"
+	"mixtime/internal/graphio"
+)
+
+// DefaultScale is the dataset scale used when a reference omits one.
+const DefaultScale = 0.01
+
+// ParseDatasetRef splits "dataset:<name>[:scale]" into its parts;
+// ok is false if arg is not a dataset reference.
+func ParseDatasetRef(arg string) (name string, scale float64, ok bool, err error) {
+	rest, ok := strings.CutPrefix(arg, "dataset:")
+	if !ok {
+		return "", 0, false, nil
+	}
+	scale = DefaultScale
+	name = rest
+	if i := strings.LastIndex(rest, ":"); i > 0 {
+		s, perr := strconv.ParseFloat(rest[i+1:], 64)
+		if perr != nil {
+			return "", 0, true, fmt.Errorf("bad scale in %q: %v", arg, perr)
+		}
+		if s <= 0 {
+			return "", 0, true, fmt.Errorf("scale must be positive in %q", arg)
+		}
+		scale, name = s, rest[:i]
+	}
+	return name, scale, true, nil
+}
+
+// LoadGraphArg resolves a graph argument: a dataset reference is
+// generated (seed 1), anything else loads as a file.
+func LoadGraphArg(arg string) (*graph.Graph, error) {
+	name, scale, isRef, err := ParseDatasetRef(arg)
+	if err != nil {
+		return nil, err
+	}
+	if isRef {
+		d, err := datasets.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return d.Generate(scale, 1), nil
+	}
+	return graphio.LoadFile(arg)
+}

@@ -1,0 +1,153 @@
+package community
+
+import (
+	"math/rand/v2"
+
+	"mixtime/internal/graph"
+)
+
+// Louvain runs the Louvain method: greedy local modularity moves
+// followed by community aggregation, repeated until modularity stops
+// improving. Returns the flat labeling of the original vertices.
+func Louvain(g *graph.Graph, rng *rand.Rand) Labels {
+	n := g.NumNodes()
+	labels := make(Labels, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	if n == 0 {
+		return labels
+	}
+
+	// Working multigraph: weighted adjacency with self-loops for
+	// aggregated internal edges.
+	type wgraph struct {
+		adj  []map[int32]float64
+		self []float64 // 2×internal weight
+		deg  []float64 // weighted degree incl. self-loops
+		m2   float64
+	}
+	cur := &wgraph{
+		adj:  make([]map[int32]float64, n),
+		self: make([]float64, n),
+		deg:  make([]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		cur.adj[v] = make(map[int32]float64, g.Degree(graph.NodeID(v)))
+		for _, w := range g.Neighbors(graph.NodeID(v)) {
+			cur.adj[v][int32(w)] = 1
+		}
+		cur.deg[v] = float64(g.Degree(graph.NodeID(v)))
+		cur.m2 += cur.deg[v]
+	}
+	if cur.m2 == 0 {
+		return labels
+	}
+
+	// membership maps original vertices to current-level nodes.
+	membership := make([]int32, n)
+	for i := range membership {
+		membership[i] = int32(i)
+	}
+
+	for level := 0; level < 32; level++ {
+		k := len(cur.adj)
+		comm := make([]int32, k)
+		commDeg := make([]float64, k) // Σ deg of community members
+		for i := 0; i < k; i++ {
+			comm[i] = int32(i)
+			commDeg[i] = cur.deg[i]
+		}
+
+		// Phase 1: local moving.
+		order := make([]int, k)
+		for i := range order {
+			order[i] = i
+		}
+		improvedAny := false
+		for pass := 0; pass < 64; pass++ {
+			rng.Shuffle(k, func(i, j int) { order[i], order[j] = order[j], order[i] })
+			moved := false
+			for _, v := range order {
+				cv := comm[v]
+				// Weights from v to each neighboring community.
+				toComm := map[int32]float64{}
+				for u, w := range cur.adj[v] {
+					toComm[comm[u]] += w
+				}
+				commDeg[cv] -= cur.deg[v]
+				bestC := cv
+				bestGain := toComm[cv] - commDeg[cv]*cur.deg[v]/cur.m2
+				for c, w := range toComm {
+					if c == cv {
+						continue
+					}
+					gain := w - commDeg[c]*cur.deg[v]/cur.m2
+					if gain > bestGain+1e-12 {
+						bestGain = gain
+						bestC = c
+					}
+				}
+				commDeg[bestC] += cur.deg[v]
+				if bestC != cv {
+					comm[v] = bestC
+					moved = true
+					improvedAny = true
+				}
+			}
+			if !moved {
+				break
+			}
+		}
+		if !improvedAny {
+			break
+		}
+
+		// Relabel communities densely.
+		remap := map[int32]int32{}
+		for _, c := range comm {
+			if _, ok := remap[c]; !ok {
+				remap[c] = int32(len(remap))
+			}
+		}
+		nk := len(remap)
+		for v := range comm {
+			comm[v] = remap[comm[v]]
+		}
+		for i := range membership {
+			membership[i] = comm[membership[i]]
+		}
+
+		// Phase 2: aggregate.
+		next := &wgraph{
+			adj:  make([]map[int32]float64, nk),
+			self: make([]float64, nk),
+			deg:  make([]float64, nk),
+			m2:   cur.m2,
+		}
+		for i := range next.adj {
+			next.adj[i] = map[int32]float64{}
+		}
+		for v := 0; v < k; v++ {
+			cv := comm[v]
+			next.self[cv] += cur.self[v]
+			next.deg[cv] += cur.deg[v]
+			for u, w := range cur.adj[v] {
+				cu := comm[int(u)]
+				if cu == cv {
+					next.self[cv] += w // each internal edge seen twice
+				} else {
+					next.adj[cv][cu] += w
+				}
+			}
+		}
+		if nk == k {
+			break // no aggregation happened; fixed point
+		}
+		cur = next
+	}
+
+	copy(labels, membership)
+	labels.Normalize()
+	return labels
+}

@@ -1,0 +1,191 @@
+// Package core composes the two measurement techniques of the paper
+// into one high-level API: given a social graph, it extracts the
+// largest connected component, estimates the SLEM µ (spectral bound,
+// §3.2/Theorem 2), samples per-source variation-distance traces
+// (direct measurement, §3.3/Definition 1), and reports the mixing
+// time both ways, together with the Sinclair bounds and the
+// fast-mixing O(log n) yardstick the Sybil-defense literature
+// assumes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"mixtime/internal/graph"
+	"mixtime/internal/markov"
+	"mixtime/internal/spectral"
+)
+
+// Options configures a measurement.
+type Options struct {
+	// Sources is the number of sampled start vertices for the direct
+	// measurement (default 100; the paper uses 1000 on large graphs
+	// and every vertex on small ones). Sources ≥ n measures from
+	// every vertex (the brute-force mode of Figures 3–5).
+	Sources int
+	// MaxWalk caps the propagated walk length per source
+	// (default 200).
+	MaxWalk int
+	// SpectralTol is the SLEM tolerance (default 1e-8).
+	SpectralTol float64
+	// Seed drives source sampling and the spectral start vector.
+	Seed uint64
+	// SkipSampling disables the direct measurement (SLEM only).
+	SkipSampling bool
+	// SkipSpectral disables the SLEM estimation (sampling only).
+	SkipSpectral bool
+	// KeepWhole skips largest-component extraction; the graph must
+	// already be connected.
+	KeepWhole bool
+	// Workers sets the trace-propagation parallelism (0 = GOMAXPROCS,
+	// 1 = sequential).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sources <= 0 {
+		o.Sources = 100
+	}
+	if o.MaxWalk <= 0 {
+		o.MaxWalk = 200
+	}
+	if o.SpectralTol <= 0 {
+		o.SpectralTol = 1e-8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Measurement is the result of measuring one graph.
+type Measurement struct {
+	// Graph is the measured component (after LCC extraction).
+	Graph *graph.Graph
+	// Chain is the measured random walk (lazy iff Bipartite).
+	Chain *markov.Chain
+	// Bipartite reports whether the component is bipartite, in which
+	// case the plain walk is periodic and the lazy chain was measured
+	// instead.
+	Bipartite bool
+	// SLEM is the spectral estimate (nil with SkipSpectral).
+	SLEM *spectral.Estimate
+	// Traces are the per-source direct measurements (nil with
+	// SkipSampling).
+	Traces []*markov.Trace
+	// Sources are the trace start vertices.
+	Sources []graph.NodeID
+}
+
+// Measure runs the full methodology on g.
+func Measure(g *graph.Graph, opt Options) (*Measurement, error) {
+	opt = opt.withDefaults()
+	if g.NumNodes() == 0 {
+		return nil, errors.New("core: empty graph")
+	}
+	component := g
+	if !opt.KeepWhole {
+		component, _ = graph.LargestComponent(g)
+	} else if !graph.IsConnected(g) {
+		return nil, errors.New("core: KeepWhole requires a connected graph (mixing time is undefined otherwise)")
+	}
+	if component.NumNodes() < 2 {
+		return nil, errors.New("core: component too small to measure")
+	}
+
+	m := &Measurement{Graph: component}
+	m.Bipartite = graph.IsBipartite(component)
+	var chainOpts []markov.Option
+	if m.Bipartite {
+		chainOpts = append(chainOpts, markov.Lazy())
+	}
+	chain, err := markov.New(component, chainOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m.Chain = chain
+
+	if !opt.SkipSpectral {
+		est, err := spectral.SLEM(component, spectral.Options{Tol: opt.SpectralTol, Seed: opt.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if m.Bipartite {
+			// The measured chain is lazy; its SLEM is (1+λ₂)/2 and its
+			// smallest eigenvalue is non-negative.
+			est = &spectral.Estimate{
+				Mu:         (1 + est.Lambda2) / 2,
+				Lambda2:    (1 + est.Lambda2) / 2,
+				LambdaN:    (1 + est.LambdaN) / 2,
+				Iterations: est.Iterations,
+				Converged:  est.Converged,
+			}
+		}
+		m.SLEM = est
+	}
+
+	if !opt.SkipSampling {
+		rng := rand.New(rand.NewPCG(opt.Seed, 0xc0fe))
+		m.Sources = markov.SampleSources(component, opt.Sources, rng)
+		m.Traces = chain.TraceSampleParallel(m.Sources, opt.MaxWalk, opt.Workers)
+	}
+	return m, nil
+}
+
+// Mu returns the estimated SLEM, or 1 if the spectral pass was
+// skipped (the conservative value).
+func (m *Measurement) Mu() float64 {
+	if m.SLEM == nil {
+		return 1
+	}
+	return m.SLEM.Mu
+}
+
+// LowerBound returns the Sinclair lower bound on T(ε) from the
+// measured µ.
+func (m *Measurement) LowerBound(eps float64) float64 {
+	return spectral.MixingLowerBound(m.Mu(), eps)
+}
+
+// UpperBound returns the Sinclair upper bound on T(ε).
+func (m *Measurement) UpperBound(eps float64) float64 {
+	return spectral.MixingUpperBound(m.Mu(), eps, m.Graph.NumNodes())
+}
+
+// SampledMixingTime applies Definition 1 to the sampled traces: the
+// maximum over sources of the first walk length within ε. ok is
+// false if some source never reached ε within MaxWalk (t is then a
+// lower bound).
+func (m *Measurement) SampledMixingTime(eps float64) (t int, ok bool) {
+	return markov.MixingTime(m.Traces, eps)
+}
+
+// AverageMixingTime is the mean first-crossing walk length over
+// sources — the average-case quantity the paper's §5 recommends
+// designs analyze instead of the worst case.
+func (m *Measurement) AverageMixingTime(eps float64) float64 {
+	return markov.AverageMixingTime(m.Traces, eps)
+}
+
+// DistancesAt returns the per-source variation distance after w
+// steps (the Figure 3/4 CDF samples).
+func (m *Measurement) DistancesAt(w int) []float64 {
+	return markov.DistancesAt(m.Traces, w)
+}
+
+// FastMixingYardstick returns ⌈ln n⌉ — the walk length the defenses
+// under study assume is enough.
+func (m *Measurement) FastMixingYardstick() int {
+	return spectral.FastMixingWalkLength(m.Graph.NumNodes())
+}
+
+// Conductance returns the Cheeger bounds on the graph conductance
+// implied by the measured λ₂.
+func (m *Measurement) Conductance() (lo, hi float64) {
+	if m.SLEM == nil {
+		return 0, 1
+	}
+	return spectral.CheegerBounds(m.SLEM.Lambda2)
+}

@@ -1,0 +1,6 @@
+package core
+
+import "math/rand/v2"
+
+// rngFor returns a deterministic generator for test fixtures.
+func rngFor(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 0x7357)) }

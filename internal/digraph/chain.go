@@ -1,0 +1,133 @@
+package digraph
+
+import (
+	"errors"
+
+	"mixtime/internal/markov"
+)
+
+// Chain is the random walk on a strongly connected digraph:
+// P(u→v) = 1/outdeg(u). Unlike the undirected case, the stationary
+// distribution is not deg/2m — it is computed numerically at
+// construction by iterating the (lazy) walk operator from the uniform
+// distribution until the update is below tolerance. The lazy operator
+// (I+P)/2 shares P's stationary distribution and is aperiodic on
+// every strongly connected digraph, so the iteration always
+// converges.
+type Chain struct {
+	g      *DiGraph
+	invOut []float64
+	pi     []float64
+	lazy   bool
+}
+
+// ChainOption configures NewChain.
+type ChainOption func(*Chain)
+
+// LazyChain makes the measured chain itself lazy: P' = (I+P)/2.
+func LazyChain() ChainOption { return func(c *Chain) { c.lazy = true } }
+
+// NewChain builds the chain. The digraph must be strongly connected
+// (extract the largest SCC first); tol bounds the L1 error of the
+// computed stationary distribution (≤ 0 defaults to 1e-12).
+func NewChain(g *DiGraph, tol float64, opts ...ChainOption) (*Chain, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, errors.New("digraph: empty graph")
+	}
+	_, sizes := StronglyConnectedComponents(g)
+	if len(sizes) != 1 {
+		return nil, errors.New("digraph: chain requires a strongly connected graph")
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	c := &Chain{g: g, invOut: make([]float64, n)}
+	for _, o := range opts {
+		o(c)
+	}
+	for v := 0; v < n; v++ {
+		d := g.OutDegree(NodeID(v))
+		if d == 0 {
+			return nil, errors.New("digraph: vertex with out-degree 0")
+		}
+		c.invOut[v] = 1 / float64(d)
+	}
+
+	// Stationary distribution by (lazy) power iteration from uniform.
+	p := make([]float64, n)
+	q := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	const maxIter = 500_000
+	for iter := 0; iter < maxIter; iter++ {
+		c.stepLazy(q, p)
+		var diff float64
+		for i := range q {
+			d := q[i] - p[i]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		p, q = q, p
+		if diff < tol {
+			break
+		}
+	}
+	c.pi = p
+	return c, nil
+}
+
+// stepLazy computes dst = p·(I+P)/2 — used for the stationary solve.
+func (c *Chain) stepLazy(dst, p []float64) {
+	n := c.g.NumNodes()
+	for v := 0; v < n; v++ {
+		var s float64
+		for _, u := range c.g.In(NodeID(v)) {
+			s += p[u] * c.invOut[u]
+		}
+		dst[v] = 0.5*p[v] + 0.5*s
+	}
+}
+
+// Step computes dst = p·P (or the lazy variant if configured).
+func (c *Chain) Step(dst, p []float64) {
+	if c.lazy {
+		c.stepLazy(dst, p)
+		return
+	}
+	n := c.g.NumNodes()
+	for v := 0; v < n; v++ {
+		var s float64
+		for _, u := range c.g.In(NodeID(v)) {
+			s += p[u] * c.invOut[u]
+		}
+		dst[v] = s
+	}
+}
+
+// Stationary returns the numerically computed stationary
+// distribution. The slice is shared; callers must not modify it.
+func (c *Chain) Stationary() []float64 { return c.pi }
+
+// NumNodes returns the state count.
+func (c *Chain) NumNodes() int { return c.g.NumNodes() }
+
+// TraceFrom propagates a point mass at src for maxT steps and records
+// the total-variation distance to the stationary distribution after
+// each — the directed analogue of the paper's sampling method.
+func (c *Chain) TraceFrom(src NodeID, maxT int) *markov.Trace {
+	n := c.g.NumNodes()
+	p := make([]float64, n)
+	q := make([]float64, n)
+	p[src] = 1
+	tv := make([]float64, maxT)
+	for t := 0; t < maxT; t++ {
+		c.Step(q, p)
+		p, q = q, p
+		tv[t] = markov.TVDistance(p, c.pi)
+	}
+	return &markov.Trace{Source: src, TV: tv}
+}

@@ -1,0 +1,140 @@
+package digraph
+
+// StronglyConnectedComponents labels each vertex with an SCC index in
+// [0, k) and returns the sizes. The implementation is an iterative
+// Tarjan (explicit stack) so million-node crawls don't overflow the
+// goroutine stack.
+func StronglyConnectedComponents(g *DiGraph) (labels []int32, sizes []int64) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, nil
+	}
+	const unvisited = -1
+	labels = make([]int32, n)
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		labels[i] = -1
+	}
+	var stack []NodeID
+	var next int32
+
+	// Explicit DFS frames: vertex plus the position within its
+	// out-list.
+	type frame struct {
+		v   NodeID
+		idx int
+	}
+	var frames []frame
+
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{NodeID(start), 0})
+		index[start] = next
+		lowlink[start] = next
+		next++
+		stack = append(stack, NodeID(start))
+		onStack[start] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			out := g.Out(f.v)
+			if f.idx < len(out) {
+				w := out[f.idx]
+				f.idx++
+				if index[w] == unvisited {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order: pop the frame, propagate lowlink, emit SCC.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if lowlink[v] < lowlink[p.v] {
+					lowlink[p.v] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				comp := int32(len(sizes))
+				var size int64
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					labels[w] = comp
+					size++
+					if w == v {
+						break
+					}
+				}
+				sizes = append(sizes, size)
+			}
+		}
+	}
+	return labels, sizes
+}
+
+// Subgraph returns the sub-digraph induced by nodes, relabeled to
+// [0, len(nodes)); the second value maps new IDs to originals.
+func Subgraph(g *DiGraph, nodes []NodeID) (*DiGraph, []NodeID) {
+	const absent = ^NodeID(0)
+	remap := make([]NodeID, g.NumNodes())
+	for i := range remap {
+		remap[i] = absent
+	}
+	orig := make([]NodeID, 0, len(nodes))
+	for _, v := range nodes {
+		if remap[v] == absent {
+			remap[v] = NodeID(len(orig))
+			orig = append(orig, v)
+		}
+	}
+	b := NewBuilder(0)
+	if len(orig) > 0 {
+		b.AddNode(NodeID(len(orig) - 1))
+	}
+	for newU, oldU := range orig {
+		for _, oldV := range g.Out(oldU) {
+			if newV := remap[oldV]; newV != absent {
+				b.AddArc(NodeID(newU), newV)
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// LargestSCC extracts the largest strongly connected component — the
+// directed analogue of the paper's largest-component preprocessing
+// (the directed walk is irreducible only there).
+func LargestSCC(g *DiGraph) (*DiGraph, []NodeID) {
+	labels, sizes := StronglyConnectedComponents(g)
+	if len(sizes) == 0 {
+		return &DiGraph{}, nil
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	nodes := make([]NodeID, 0, sizes[best])
+	for v, l := range labels {
+		if l == int32(best) {
+			nodes = append(nodes, NodeID(v))
+		}
+	}
+	return Subgraph(g, nodes)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mixtime/internal/datasets"
+	"mixtime/internal/spectral"
+	"mixtime/internal/textplot"
+)
+
+// BoundCurve is one dataset's Sinclair lower-bound curve: the walk
+// length T required (per the SLEM bound) to reach each variation
+// distance ε — the content of Figures 1 and 2.
+type BoundCurve struct {
+	Dataset string
+	Mu      float64
+	Eps     []float64
+	T       []float64
+}
+
+// boundCurves measures the given datasets and derives their bound
+// curves.
+func boundCurves(ds []datasets.Dataset, cfg Config) ([]BoundCurve, error) {
+	cfg = cfg.withDefaults()
+	grid := epsGrid()
+	var out []BoundCurve
+	for _, d := range ds {
+		g := d.Generate(cfg.Scale, cfg.Seed)
+		est, err := spectral.SLEM(g, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+		}
+		c := BoundCurve{Dataset: d.Name, Mu: est.Mu, Eps: grid, T: make([]float64, len(grid))}
+		for i, eps := range grid {
+			c.T[i] = spectral.MixingLowerBound(est.Mu, eps)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Figure1 computes the lower-bound mixing-time curves for the small
+// datasets (wiki-vote, Slashdot 1/2, Facebook, Physics 1–3, Enron,
+// Epinion).
+func Figure1(cfg Config) ([]BoundCurve, error) {
+	return boundCurves(datasets.Small(), cfg)
+}
+
+// Figure2 computes the curves for the large datasets (DBLP,
+// Facebook A/B, Livejournal A/B, Youtube).
+func Figure2(cfg Config) ([]BoundCurve, error) {
+	return boundCurves(datasets.Large(), cfg)
+}
+
+// RenderBoundCurves draws the curves as an ASCII chart, ε (log)
+// against the bound walk length, mirroring the paper's axes.
+func RenderBoundCurves(title string, curves []BoundCurve) string {
+	series := make([]textplot.Series, len(curves))
+	for i, c := range curves {
+		series[i] = textplot.Series{
+			Name: fmt.Sprintf("%s (µ=%.4f)", c.Dataset, c.Mu),
+			X:    c.T,
+			Y:    c.Eps,
+		}
+	}
+	return textplot.Chart(textplot.Options{
+		Title:  title,
+		XLabel: "lower bound of mixing time (walk length)",
+		YLabel: "ε",
+		LogY:   true,
+	}, series...)
+}

@@ -1,0 +1,66 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, each returning typed rows that cmd/paperfigs
+// renders and bench_test.go wraps as benchmarks. Every driver accepts
+// the same Config so the whole evaluation scales from a quick smoke
+// run to (hardware permitting) the paper's full sizes.
+package experiments
+
+import "math"
+
+// Config scales and seeds an experiment run.
+type Config struct {
+	// Scale multiplies every dataset's node count (default 0.01: the
+	// million-node graphs become 10k — the paper's measurements used
+	// a cluster; see EXPERIMENTS.md for the recorded scale per run).
+	Scale float64
+	// Seed makes runs deterministic (default 1).
+	Seed uint64
+	// Sources is the number of start vertices for direct
+	// measurements (default 200; the paper uses 1000 on large graphs
+	// and all vertices on the physics graphs).
+	Sources int
+	// MaxWalk caps propagated walk lengths (default 500, the paper's
+	// longest probe).
+	MaxWalk int
+	// SpectralTol is the SLEM tolerance (default 1e-7).
+	SpectralTol float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sources <= 0 {
+		c.Sources = 200
+	}
+	if c.MaxWalk <= 0 {
+		c.MaxWalk = 500
+	}
+	if c.SpectralTol <= 0 {
+		c.SpectralTol = 1e-7
+	}
+	return c
+}
+
+// epsGrid is the variation-distance grid the bound figures sweep,
+// from 0.25 down to 1e-4 (the paper's axes).
+func epsGrid() []float64 {
+	const k = 13
+	out := make([]float64, k)
+	hi, lo := 0.25, 1e-4
+	ratio := math.Log(hi / lo)
+	for i := range out {
+		out[i] = hi * math.Exp(-ratio*float64(i)/float64(k-1))
+	}
+	return out
+}
+
+// probeWalksShort are Figure 3's walk lengths, probeWalksLong
+// Figure 4's.
+var (
+	probeWalksShort = []int{1, 5, 10, 20, 40}
+	probeWalksLong  = []int{80, 100, 200, 300, 400, 500}
+)

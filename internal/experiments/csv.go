@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// The CSV emitters below give every artifact a machine-readable form,
+// so the paper's figures can be re-plotted with any tool. Each writes
+// a header row followed by data rows.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+func d(v int) string     { return strconv.Itoa(v) }
+
+// Table1CSV writes the Table-1 rows.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	header := []string{"dataset", "kind", "paper_nodes", "paper_edges", "paper_mu", "nodes", "edges", "mu", "converged"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name, string(r.Kind), d(r.PaperNodes), strconv.FormatInt(r.PaperEdges, 10),
+			f(r.PaperMu), d(r.Nodes), strconv.FormatInt(r.Edges, 10), f(r.Mu),
+			strconv.FormatBool(r.Converged),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// BoundCurvesCSV writes Figure 1/2 curves in long form.
+func BoundCurvesCSV(w io.Writer, curves []BoundCurve) error {
+	header := []string{"dataset", "mu", "epsilon", "lower_bound_T"}
+	var out [][]string
+	for _, c := range curves {
+		for i := range c.Eps {
+			out = append(out, []string{c.Dataset, f(c.Mu), f(c.Eps[i]), f(c.T[i])})
+		}
+	}
+	return writeCSV(w, header, out)
+}
+
+// DistanceCDFsCSV writes Figure 3/4 samples in long form.
+func DistanceCDFsCSV(w io.Writer, rows []DistanceCDF) error {
+	header := []string{"dataset", "w", "source_index", "tv_distance"}
+	var out [][]string
+	for _, r := range rows {
+		for i, dist := range r.Distances {
+			out = append(out, []string{r.Dataset, d(r.W), d(i), f(dist)})
+		}
+	}
+	return writeCSV(w, header, out)
+}
+
+// Fig5CSV writes the Figure-5 comparison curves.
+func Fig5CSV(w io.Writer, curves []Fig5Curve) error {
+	header := []string{"dataset", "mu", "w", "mean_tv", "q999_tv", "bound_eps"}
+	var out [][]string
+	for _, c := range curves {
+		for i := range c.W {
+			out = append(out, []string{
+				c.Dataset, f(c.Mu), d(c.W[i]), f(c.MeanTV[i]), f(c.Q999TV[i]), f(c.BoundEps[i]),
+			})
+		}
+	}
+	return writeCSV(w, header, out)
+}
+
+// Fig6CSV writes the trimming rows: one line per (level, w) plus the
+// bound grid in a second section distinguished by the "series"
+// column.
+func Fig6CSV(w io.Writer, rows []Fig6Row) error {
+	header := []string{"level", "nodes", "edges", "mu", "series", "x", "y"}
+	var out [][]string
+	for _, r := range rows {
+		for i := range r.Eps {
+			out = append(out, []string{
+				d(r.Level), d(r.Nodes), strconv.FormatInt(r.Edges, 10), f(r.Mu),
+				"bound", f(r.BoundT[i]), f(r.Eps[i]),
+			})
+		}
+		for i := range r.W {
+			out = append(out, []string{
+				d(r.Level), d(r.Nodes), strconv.FormatInt(r.Edges, 10), f(r.Mu),
+				"mean_tv", d(r.W[i]), f(r.MeanTV[i]),
+			})
+		}
+	}
+	return writeCSV(w, header, out)
+}
+
+// Fig7CSV writes the twelve panels in long form.
+func Fig7CSV(w io.Writer, panels []Fig7Panel) error {
+	header := []string{"dataset", "sample_size", "nodes", "mu", "w", "top10", "med20", "low10", "bound_eps"}
+	var out [][]string
+	for _, p := range panels {
+		for i := range p.W {
+			out = append(out, []string{
+				p.Dataset, d(p.SampleSize), d(p.Nodes), f(p.Mu), d(p.W[i]),
+				f(p.Top10[i]), f(p.Med20[i]), f(p.Low10[i]), f(p.BoundEps[i]),
+			})
+		}
+	}
+	return writeCSV(w, header, out)
+}
+
+// Fig8CSV writes the admission curves.
+func Fig8CSV(w io.Writer, curves []Fig8Curve) error {
+	header := []string{"dataset", "nodes", "edges", "r", "w", "accept_rate"}
+	var out [][]string
+	for _, c := range curves {
+		for i := range c.W {
+			out = append(out, []string{
+				c.Dataset, d(c.Nodes), strconv.FormatInt(c.Edges, 10), d(c.R),
+				d(c.W[i]), f(c.Accept[i]),
+			})
+		}
+	}
+	return writeCSV(w, header, out)
+}
+
+// SybilAttackCSV writes the attack sweep.
+func SybilAttackCSV(w io.Writer, rows []SybilAttackRow) error {
+	header := []string{"w", "honest_rate", "sybil_rate", "escaped_tails", "r", "sybils_per_edge", "escapes_per_edge"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			d(r.W), f(r.HonestRate), f(r.SybilRate), d(r.EscapedTails), d(r.R),
+			f(r.SybilsPerEdge), f(r.EscapesPerEdge),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// ConductanceCSV writes the Cheeger/sweep table.
+func ConductanceCSV(w io.Writer, rows []ConductanceRow) error {
+	header := []string{"dataset", "lambda2", "cheeger_lo", "sweep_phi", "cheeger_hi", "cut_size"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, f(r.Lambda2), f(r.CheegerLo), f(r.SweepPhi), f(r.CheegerHi), d(r.SweepNodes),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// WhanauCSV writes the tail-distribution check.
+func WhanauCSV(w io.Writer, rows []WhanauRow) error {
+	header := []string{"dataset", "w", "mean_edge_tv", "max_edge_tv", "mean_separation"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, d(r.W), f(r.MeanEdgeTV), f(r.MaxEdgeTV), f(r.MeanSeparation),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// TrustCSV writes the trust-model comparison.
+func TrustCSV(w io.Writer, rows []TrustRow) error {
+	header := []string{"dataset", "kind", "mu_uniform", "mu_jaccard", "mu_hesitant", "t10_uniform", "t10_jaccard", "t10_hesitant"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, string(r.Kind), f(r.MuUniform), f(r.MuJaccard), f(r.MuHesitant),
+			f(r.T10Uniform), f(r.T10Jaccard), f(r.T10Hesitant),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// DetectionCSV writes the SybilInfer detection sweep.
+func DetectionCSV(w io.Writer, rows []DetectionRow) error {
+	header := []string{"dataset", "w", "honest_mean", "sybil_mean", "gap", "false_reject", "false_accept"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, d(r.W), f(r.HonestMean), f(r.SybilMean), f(r.Gap),
+			d(r.FalseReject), d(r.FalseAccept),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// DefenseComparisonCSV writes the ranking AUC table.
+func DefenseComparisonCSV(w io.Writer, rows []DefenseRow) error {
+	header := []string{"dataset", "defense", "auc", "honest_mean", "sybil_mean"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, r.Defense, f(r.AUC), f(r.HonestMean), f(r.SybilMean),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// WhanauLookupCSV writes the lookup-success sweep.
+func WhanauLookupCSV(w io.Writer, rows []WhanauRow2) error {
+	header := []string{"dataset", "w", "success_rate"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Dataset, d(r.W), f(r.Success)})
+	}
+	return writeCSV(w, header, out)
+}

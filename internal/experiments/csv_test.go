@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// parse reads back a CSV emission and returns header + rows.
+func parse(t *testing.T, buf *bytes.Buffer) ([]string, [][]string) {
+	t.Helper()
+	all, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("empty CSV")
+	}
+	return all[0], all[1:]
+}
+
+func TestTable1CSV(t *testing.T) {
+	rows := []Table1Row{{Name: "wiki-vote", Kind: "online", PaperNodes: 7066,
+		PaperEdges: 100736, PaperMu: 0.899, Nodes: 200, Edges: 2730, Mu: 0.9077, Converged: true}}
+	var buf bytes.Buffer
+	if err := Table1CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	header, data := parse(t, &buf)
+	if header[0] != "dataset" || len(data) != 1 || data[0][0] != "wiki-vote" {
+		t.Fatalf("header %v data %v", header, data)
+	}
+	if data[0][8] != "true" {
+		t.Fatalf("converged column %v", data[0])
+	}
+}
+
+func TestBoundCurvesCSVLongForm(t *testing.T) {
+	curves := []BoundCurve{{Dataset: "a", Mu: 0.9, Eps: []float64{0.1, 0.01}, T: []float64{5, 10}}}
+	var buf bytes.Buffer
+	if err := BoundCurvesCSV(&buf, curves); err != nil {
+		t.Fatal(err)
+	}
+	_, data := parse(t, &buf)
+	if len(data) != 2 || data[1][3] != "10" {
+		t.Fatalf("data %v", data)
+	}
+}
+
+func TestDistanceCDFsCSV(t *testing.T) {
+	rows := []DistanceCDF{{Dataset: "p1", W: 5, Distances: []float64{0.5, 0.25}}}
+	var buf bytes.Buffer
+	if err := DistanceCDFsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	_, data := parse(t, &buf)
+	if len(data) != 2 || data[0][1] != "5" || data[1][3] != "0.25" {
+		t.Fatalf("data %v", data)
+	}
+}
+
+func TestRemainingCSVEmitters(t *testing.T) {
+	// One smoke row through each emitter, checking parseability and
+	// row counts.
+	cases := []struct {
+		name string
+		emit func(*bytes.Buffer) error
+		rows int
+	}{
+		{"fig5", func(b *bytes.Buffer) error {
+			return Fig5CSV(b, []Fig5Curve{{Dataset: "x", Mu: 0.9, W: []int{1, 2},
+				MeanTV: []float64{0.5, 0.4}, Q999TV: []float64{0.6, 0.5}, BoundEps: []float64{0.3, 0.2}}})
+		}, 2},
+		{"fig6", func(b *bytes.Buffer) error {
+			return Fig6CSV(b, []Fig6Row{{Level: 1, Nodes: 10, Edges: 20, Mu: 0.9,
+				Eps: []float64{0.1}, BoundT: []float64{3}, W: []int{5}, MeanTV: []float64{0.2}}})
+		}, 2},
+		{"fig7", func(b *bytes.Buffer) error {
+			return Fig7CSV(b, []Fig7Panel{{Dataset: "x", SampleSize: 100, Nodes: 90, Mu: 0.8,
+				W: []int{1}, Top10: []float64{0.1}, Med20: []float64{0.2}, Low10: []float64{0.3},
+				BoundEps: []float64{0.4}}})
+		}, 1},
+		{"fig8", func(b *bytes.Buffer) error {
+			return Fig8CSV(b, []Fig8Curve{{Dataset: "x", Nodes: 10, Edges: 20, R: 5,
+				W: []int{1, 2}, Accept: []float64{0.1, 0.9}}})
+		}, 2},
+		{"attack", func(b *bytes.Buffer) error {
+			return SybilAttackCSV(b, []SybilAttackRow{{W: 2, HonestRate: 0.9, SybilRate: 0.1,
+				EscapedTails: 1, R: 10, SybilsPerEdge: 0.5, EscapesPerEdge: 0.1}})
+		}, 1},
+		{"conductance", func(b *bytes.Buffer) error {
+			return ConductanceCSV(b, []ConductanceRow{{Dataset: "x", Lambda2: 0.9,
+				CheegerLo: 0.05, SweepPhi: 0.06, CheegerHi: 0.4, SweepNodes: 3}})
+		}, 1},
+		{"whanau", func(b *bytes.Buffer) error {
+			return WhanauCSV(b, []WhanauRow{{Dataset: "x", W: 80, MeanEdgeTV: 0.5,
+				MaxEdgeTV: 0.6, MeanSeparation: 0.9}})
+		}, 1},
+		{"trust", func(b *bytes.Buffer) error {
+			return TrustCSV(b, []TrustRow{{Dataset: "x", Kind: "trust", MuUniform: 0.9,
+				MuJaccard: 0.95, MuHesitant: 0.95, T10Uniform: 10, T10Jaccard: 20, T10Hesitant: 20}})
+		}, 1},
+		{"detection", func(b *bytes.Buffer) error {
+			return DetectionCSV(b, []DetectionRow{{Dataset: "x", W: 5, HonestMean: 0.9,
+				SybilMean: 0.1, Gap: 0.8, FalseReject: 1, FalseAccept: 2}})
+		}, 1},
+		{"defenses", func(b *bytes.Buffer) error {
+			return DefenseComparisonCSV(b, []DefenseRow{{Dataset: "x", Defense: "ppr",
+				AUC: 0.99, HonestMean: 0.5, SybilMean: 0.1}})
+		}, 1},
+		{"whanau-lookup", func(b *bytes.Buffer) error {
+			return WhanauLookupCSV(b, []WhanauRow2{{Dataset: "x", W: 8, Success: 0.7}})
+		}, 1},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := c.emit(&buf); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		header, data := parse(t, &buf)
+		if len(data) != c.rows {
+			t.Fatalf("%s: %d rows, want %d", c.name, len(data), c.rows)
+		}
+		if len(header) == 0 || strings.TrimSpace(header[0]) == "" {
+			t.Fatalf("%s: empty header", c.name)
+		}
+		for _, row := range data {
+			if len(row) != len(header) {
+				t.Fatalf("%s: ragged row %v vs header %v", c.name, row, header)
+			}
+		}
+	}
+}

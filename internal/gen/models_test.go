@@ -1,0 +1,108 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mixtime/internal/graph"
+	"mixtime/internal/metrics"
+)
+
+func TestForestFire(t *testing.T) {
+	g := ForestFire(2000, 0.35, rng(21))
+	validate(t, g)
+	if g.NumNodes() != 2000 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("forest fire disconnected (every node links its ambassador)")
+	}
+	// Burning creates triangles: clustering well above an ER graph of
+	// the same density.
+	er := ErdosRenyiM(2000, g.NumEdges(), rng(22))
+	if metrics.AverageClustering(g) < 3*metrics.AverageClustering(er) {
+		t.Fatalf("forest fire clustering %v vs ER %v",
+			metrics.AverageClustering(g), metrics.AverageClustering(er))
+	}
+	// Higher burn probability densifies.
+	dense := ForestFire(2000, 0.5, rng(23))
+	if dense.NumEdges() <= g.NumEdges() {
+		t.Fatalf("p=0.5 edges %d not above p=0.35 edges %d", dense.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestForestFireDegenerate(t *testing.T) {
+	if g := ForestFire(1, 0.3, rng(24)); g.NumNodes() != 1 {
+		t.Fatalf("n=1: %v", g)
+	}
+	g := ForestFire(50, 0, rng(25)) // p=0: pure ambassador tree
+	validate(t, g)
+	if g.NumEdges() != 49 {
+		t.Fatalf("p=0 edges %d, want tree 49", g.NumEdges())
+	}
+	// p clamps at 0.95 without hanging.
+	g = ForestFire(100, 0.99, rng(26))
+	validate(t, g)
+}
+
+func TestKleinberg(t *testing.T) {
+	g := Kleinberg(20, 2, rng(27))
+	validate(t, g)
+	if g.NumNodes() != 400 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("kleinberg disconnected")
+	}
+	// Torus lattice gives 2n edges; one long link per node adds up to
+	// n more (duplicates possible).
+	if m := g.NumEdges(); m < 2*400+200 || m > 3*400 {
+		t.Fatalf("m = %d", m)
+	}
+	// Long-range links shrink the diameter versus the bare torus:
+	// mean path should be small.
+	if d := metrics.SampledPathLength(g, 30, rng(28)); d > 12 {
+		t.Fatalf("mean path %v — no small-world effect", d)
+	}
+}
+
+func TestHolmeKim(t *testing.T) {
+	g := HolmeKim(2000, 4, 0.7, rng(29))
+	validate(t, g)
+	if g.NumNodes() != 2000 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	lcc, _ := graph.LargestComponent(g)
+	if lcc.NumNodes() < 1990 {
+		t.Fatalf("LCC %d", lcc.NumNodes())
+	}
+	// Triad formation buys clustering over plain BA at equal k.
+	ba := BarabasiAlbert(2000, 4, rng(30))
+	if metrics.AverageClustering(g) < 2*metrics.AverageClustering(ba) {
+		t.Fatalf("HK clustering %v vs BA %v",
+			metrics.AverageClustering(g), metrics.AverageClustering(ba))
+	}
+	// Still heavy-tailed.
+	if g.MaxDegree() < 4*int(g.AvgDegree()) {
+		t.Fatalf("max degree %d vs avg %v", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestQuickNewModelsValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed)
+		for _, g := range []*graph.Graph{
+			ForestFire(100+int(seed%100), 0.3, r),
+			Kleinberg(8+int(seed%5), 2, r),
+			HolmeKim(120, 3, 0.5, r),
+		} {
+			if g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

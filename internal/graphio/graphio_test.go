@@ -1,0 +1,258 @@
+package graphio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mixtime/internal/digraph"
+	"mixtime/internal/gen"
+	"mixtime/internal/graph"
+)
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	same := true
+	a.Edges(func(u, v graph.NodeID) bool {
+		if !b.HasEdge(u, v) {
+			same = false
+			return false
+		}
+		return true
+	})
+	return same
+}
+
+func TestReadEdgeListBasics(t *testing.T) {
+	in := `# SNAP-style comment
+% matrix-market-style comment
+
+0	1
+1 2
+2	0
+1	2
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0\n")); err == nil {
+		t.Fatal("single-field line accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("-1 2\n")); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g := gen.BarabasiAlbert(300, 3, rng)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, back) {
+		t.Fatal("edge-list round trip lost edges")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	g := gen.ErdosRenyi(500, 0.01, rng)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, back) {
+		t.Fatal("binary round trip lost edges")
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	g := gen.Ring(10)
+	_ = rng
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Truncate mid-edge.
+	if _, err := readBinary(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Corrupt magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := readBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Corrupt version.
+	bad = append([]byte(nil), data...)
+	bad[4] = 9
+	if _, err := readBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestFileRoundTripAllFormats(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewPCG(7, 8))
+	g := gen.WattsStrogatz(200, 3, 0.2, rng)
+	for _, name := range []string{"g.txt", "g.txt.gz", "g.mixg", "g.mixg.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if !sameGraph(g, back) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestEdgeListPreservesTrailingIsolatedNodes(t *testing.T) {
+	b := NewTestBuilderWithIsolated()
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() {
+		t.Fatalf("round trip n = %d, want %d", back.NumNodes(), g.NumNodes())
+	}
+}
+
+// NewTestBuilderWithIsolated builds {0-1} plus isolated trailing
+// nodes 2..4.
+func NewTestBuilderWithIsolated() *graph.Builder {
+	b := graph.NewBuilder(1)
+	b.AddEdge(0, 1)
+	b.AddNode(4)
+	return b
+}
+
+func TestDirectedRoundTrip(t *testing.T) {
+	b := digraph.NewBuilder(0)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(2, 0)
+	b.AddArc(0, 2)
+	b.AddNode(5) // trailing isolated
+	dg := b.Build()
+	var buf bytes.Buffer
+	if err := WriteArcList(&buf, dg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArcList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 6 || back.NumArcs() != 4 {
+		t.Fatalf("round trip %v", back)
+	}
+	if !back.HasArc(0, 2) || !back.HasArc(2, 0) || back.HasArc(1, 0) {
+		t.Fatal("arc directions lost")
+	}
+}
+
+func TestLoadDirectedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arcs.txt.gz")
+	b := digraph.NewBuilder(0)
+	b.AddArc(3, 7)
+	b.AddArc(7, 3)
+	b.AddArc(1, 2)
+	dg := b.Build()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if err := WriteArcList(zw, dg); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDirectedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumArcs() != 3 || !back.HasArc(3, 7) {
+		t.Fatalf("loaded %v", back)
+	}
+	if _, err := LoadDirectedFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestReadArcListErrors(t *testing.T) {
+	if _, err := ReadArcList(strings.NewReader("1\n")); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := ReadArcList(strings.NewReader("# nodes: x\n")); err == nil {
+		t.Fatal("bad directive accepted")
+	}
+}
+
+// Property: every generated graph survives both round trips intact.
+func TestQuickRoundTrips(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		g := gen.ErdosRenyiM(80, 150, rng)
+		var txt, bin bytes.Buffer
+		if WriteEdgeList(&txt, g) != nil || WriteBinary(&bin, g) != nil {
+			return false
+		}
+		fromTxt, err1 := ReadEdgeList(&txt)
+		fromBin, err2 := readBinary(&bin)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sameGraph(g, fromTxt) && sameGraph(g, fromBin)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

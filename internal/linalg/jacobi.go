@@ -1,0 +1,138 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymDense is a dense symmetric matrix stored fully (both triangles)
+// in row-major order. It exists to cross-validate the sparse spectral
+// code on small graphs, where an O(n³) eigensolve is cheap.
+type SymDense struct {
+	N    int
+	Data []float64 // len N*N, Data[i*N+j]
+}
+
+// NewSymDense allocates an n×n zero matrix.
+func NewSymDense(n int) *SymDense {
+	return &SymDense{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (a *SymDense) At(i, j int) float64 { return a.Data[i*a.N+j] }
+
+// Set sets elements (i, j) and (j, i).
+func (a *SymDense) Set(i, j int, v float64) {
+	a.Data[i*a.N+j] = v
+	a.Data[j*a.N+i] = v
+}
+
+// offDiagNorm returns the Frobenius norm of the strictly upper
+// triangle.
+func (a *SymDense) offDiagNorm() float64 {
+	var s float64
+	for i := 0; i < a.N; i++ {
+		for j := i + 1; j < a.N; j++ {
+			v := a.At(i, j)
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// EigenSym computes all eigenvalues (ascending) and, if vectors is
+// true, an orthonormal matrix of eigenvectors (column k corresponds to
+// eigenvalue k) using the cyclic Jacobi rotation method. The input
+// matrix is not modified. Jacobi is slow but essentially exact for the
+// matrix sizes (n ≲ 500) it is used at, which is what a validation
+// oracle should be.
+func EigenSym(a *SymDense, vectors bool) (vals []float64, vecs *SymDense, err error) {
+	n := a.N
+	if n == 0 {
+		return nil, nil, nil
+	}
+	// Verify symmetry up to roundoff; the algorithm assumes it.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := math.Abs(a.At(i, j) - a.At(j, i)); d > 1e-12 {
+				return nil, nil, fmt.Errorf("linalg: matrix not symmetric at (%d,%d): |Δ|=%g", i, j, d)
+			}
+		}
+	}
+	w := &SymDense{N: n, Data: append([]float64(nil), a.Data...)}
+	var v *SymDense
+	if vectors {
+		v = NewSymDense(n)
+		for i := 0; i < n; i++ {
+			v.Data[i*n+i] = 1
+		}
+	}
+
+	const maxSweeps = 100
+	tol := 1e-14 * (1 + w.offDiagNorm())
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if w.offDiagNorm() <= tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= tol/float64(n) {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply the rotation J(p,q,θ)ᵀ W J(p,q,θ).
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Data[k*n+p] = c*akp - s*akq
+					w.Data[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Data[p*n+k] = c*apk - s*aqk
+					w.Data[q*n+k] = s*apk + c*aqk
+				}
+				if vectors {
+					for k := 0; k < n; k++ {
+						vkp, vkq := v.At(k, p), v.At(k, q)
+						v.Data[k*n+p] = c*vkp - s*vkq
+						v.Data[k*n+q] = s*vkp + c*vkq
+					}
+				}
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	order := make([]int, n)
+	for i := range vals {
+		vals[i] = w.At(i, i)
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vals[order[i]] < vals[order[j]] })
+	sorted := make([]float64, n)
+	for k, idx := range order {
+		sorted[k] = vals[idx]
+	}
+	if vectors {
+		perm := NewSymDense(n)
+		for k, idx := range order {
+			for r := 0; r < n; r++ {
+				perm.Data[r*n+k] = v.At(r, idx)
+			}
+		}
+		vecs = perm
+	}
+	return sorted, vecs, nil
+}

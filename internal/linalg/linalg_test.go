@@ -1,0 +1,234 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorOps(t *testing.T) {
+	x := []float64{3, 4}
+	if Norm2(x) != 5 {
+		t.Fatalf("Norm2 = %v", Norm2(x))
+	}
+	if Norm1(x) != 7 {
+		t.Fatalf("Norm1 = %v", Norm1(x))
+	}
+	if NormInf([]float64{-9, 2}) != 9 {
+		t.Fatal("NormInf")
+	}
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot")
+	}
+	y := []float64{1, 1}
+	Axpy(2, x, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy -> %v", y)
+	}
+	d := make([]float64, 2)
+	Sub(d, []float64{5, 5}, []float64{2, 3})
+	if d[0] != 3 || d[1] != 2 {
+		t.Fatalf("Sub -> %v", d)
+	}
+	if Sum([]float64{1, 2, 3.5}) != 6.5 {
+		t.Fatal("Sum")
+	}
+	z := make([]float64, 3)
+	Fill(z, 2)
+	if z[0] != 2 || z[2] != 2 {
+		t.Fatal("Fill")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{0, 3, 4}
+	n := Normalize(x)
+	if n != 5 || !almostEq(Norm2(x), 1, 1e-15) {
+		t.Fatalf("Normalize: n=%v x=%v", n, x)
+	}
+	zero := []float64{0, 0}
+	if Normalize(zero) != 0 {
+		t.Fatal("zero vector norm")
+	}
+}
+
+func TestOrthogonalize(t *testing.T) {
+	q := []float64{1, 0, 0}
+	x := []float64{5, 2, 1}
+	OrthogonalizeAgainst(x, q)
+	if !almostEq(Dot(x, q), 0, 1e-15) {
+		t.Fatalf("residual dot %v", Dot(x, q))
+	}
+	if x[1] != 2 || x[2] != 1 {
+		t.Fatal("orthogonalization disturbed orthogonal components")
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewSymDense(3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, -1)
+	a.Set(2, 2, 2)
+	vals, _, err := EigenSym(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 2, 3}
+	for i := range want {
+		if !almostEq(vals[i], want[i], 1e-12) {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+}
+
+func TestEigenSym2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3 with vectors (1,-1)/√2,
+	// (1,1)/√2.
+	a := NewSymDense(2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 2)
+	a.Set(0, 1, 1)
+	vals, vecs, err := EigenSym(a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 1, 1e-12) || !almostEq(vals[1], 3, 1e-12) {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Check A v = λ v for each column.
+	for k := 0; k < 2; k++ {
+		for r := 0; r < 2; r++ {
+			av := a.At(r, 0)*vecs.At(0, k) + a.At(r, 1)*vecs.At(1, k)
+			if !almostEq(av, vals[k]*vecs.At(r, k), 1e-12) {
+				t.Fatalf("eigvec %d fails residual", k)
+			}
+		}
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	a := NewSymDense(2)
+	a.Data[0*2+1] = 1 // set only one triangle
+	if _, _, err := EigenSym(a, false); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+}
+
+// Property: for random symmetric matrices, Jacobi eigenvalues satisfy
+// trace and Frobenius identities, and eigenvectors reconstruct A.
+func TestQuickEigenSym(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 2 + int(seed%8)
+		a := NewSymDense(n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		vals, vecs, err := EigenSym(a, true)
+		if err != nil {
+			return false
+		}
+		var trace, frob, valSum, valSq float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			for j := 0; j < n; j++ {
+				frob += a.At(i, j) * a.At(i, j)
+			}
+		}
+		for _, v := range vals {
+			valSum += v
+			valSq += v * v
+		}
+		if !almostEq(trace, valSum, 1e-9) || !almostEq(frob, valSq, 1e-8) {
+			return false
+		}
+		// Reconstruct A = V Λ Vᵀ.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += vecs.At(i, k) * vals[k] * vecs.At(j, k)
+				}
+				if !almostEq(s, a.At(i, j), 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTridiagKnownSpectrum(t *testing.T) {
+	// The k×k tridiagonal with diag 0 and offdiag 1 has eigenvalues
+	// 2·cos(πj/(k+1)), j = 1..k.
+	k := 9
+	tr := &Tridiag{Diag: make([]float64, k), Off: make([]float64, k-1)}
+	for i := range tr.Off {
+		tr.Off[i] = 1
+	}
+	vals := tr.Eigenvalues(1e-12)
+	for j := 1; j <= k; j++ {
+		want := 2 * math.Cos(math.Pi*float64(k+1-j)/float64(k+1))
+		if !almostEq(vals[j-1], want, 1e-10) {
+			t.Fatalf("eigenvalue %d = %v, want %v", j-1, vals[j-1], want)
+		}
+	}
+	min, max := tr.Extremes(1e-12)
+	if !almostEq(min, vals[0], 1e-10) || !almostEq(max, vals[k-1], 1e-10) {
+		t.Fatal("Extremes disagrees with Eigenvalues")
+	}
+}
+
+func TestTridiagCountBelow(t *testing.T) {
+	tr := &Tridiag{Diag: []float64{1, 2, 3}, Off: []float64{0, 0}}
+	cases := []struct {
+		x    float64
+		want int
+	}{{0.5, 0}, {1.5, 1}, {2.5, 2}, {3.5, 3}}
+	for _, c := range cases {
+		if got := tr.CountBelow(c.x); got != c.want {
+			t.Fatalf("CountBelow(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+// Property: Sturm bisection agrees with the Jacobi oracle on random
+// tridiagonal matrices.
+func TestQuickTridiagVsJacobi(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		k := 2 + int(seed%10)
+		tr := &Tridiag{Diag: make([]float64, k), Off: make([]float64, k-1)}
+		a := NewSymDense(k)
+		for i := 0; i < k; i++ {
+			tr.Diag[i] = rng.NormFloat64()
+			a.Set(i, i, tr.Diag[i])
+		}
+		for i := 0; i < k-1; i++ {
+			tr.Off[i] = rng.NormFloat64()
+			a.Set(i, i+1, tr.Off[i])
+		}
+		want, _, err := EigenSym(a, false)
+		if err != nil {
+			return false
+		}
+		got := tr.Eigenvalues(1e-11)
+		for i := range want {
+			if !almostEq(got[i], want[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package linalg
+
+import "math"
+
+// Tridiag is a symmetric tridiagonal matrix: Diag has length k and
+// Off has length k-1 (Off[i] couples rows i and i+1). Lanczos reduces
+// the sparse symmetric walk operator to this form; its eigenvalues
+// approximate the extremal eigenvalues of the original operator.
+type Tridiag struct {
+	Diag []float64
+	Off  []float64
+}
+
+// Dim returns the matrix dimension.
+func (t *Tridiag) Dim() int { return len(t.Diag) }
+
+// gershgorinBounds returns an interval certain to contain all
+// eigenvalues.
+func (t *Tridiag) gershgorinBounds() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := range t.Diag {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(t.Off[i-1])
+		}
+		if i < len(t.Off) {
+			r += math.Abs(t.Off[i])
+		}
+		if t.Diag[i]-r < lo {
+			lo = t.Diag[i] - r
+		}
+		if t.Diag[i]+r > hi {
+			hi = t.Diag[i] + r
+		}
+	}
+	return lo, hi
+}
+
+// CountBelow returns the number of eigenvalues strictly less than x,
+// via the Sturm sequence of leading principal minors evaluated with
+// the stable recurrence d_i = (a_i - x) - b_{i-1}² / d_{i-1}.
+func (t *Tridiag) CountBelow(x float64) int {
+	count := 0
+	d := 1.0
+	for i := range t.Diag {
+		if i == 0 {
+			d = t.Diag[0] - x
+		} else {
+			if d == 0 {
+				d = 1e-300 // perturb to avoid division by zero
+			}
+			d = (t.Diag[i] - x) - t.Off[i-1]*t.Off[i-1]/d
+		}
+		if d < 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// Eigenvalue returns the i-th smallest eigenvalue (0-based) to within
+// tol, by bisection on the Sturm count. tol <= 0 defaults to 1e-12
+// relative to the spectral range.
+func (t *Tridiag) Eigenvalue(i int, tol float64) float64 {
+	lo, hi := t.gershgorinBounds()
+	if tol <= 0 {
+		tol = 1e-12 * math.Max(1, hi-lo)
+	}
+	// Invariant: count(lo) <= i < count(hi).
+	lo -= tol
+	hi += tol
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		if t.CountBelow(mid) <= i {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// Eigenvalues returns all eigenvalues in ascending order, each to
+// within tol.
+func (t *Tridiag) Eigenvalues(tol float64) []float64 {
+	k := t.Dim()
+	vals := make([]float64, k)
+	for i := 0; i < k; i++ {
+		vals[i] = t.Eigenvalue(i, tol)
+	}
+	return vals
+}
+
+// Extremes returns the smallest and largest eigenvalues.
+func (t *Tridiag) Extremes(tol float64) (min, max float64) {
+	k := t.Dim()
+	return t.Eigenvalue(0, tol), t.Eigenvalue(k-1, tol)
+}

@@ -1,0 +1,96 @@
+// Package linalg provides the small amount of numerical linear algebra
+// the project needs, implemented from scratch on the standard library:
+// dense vector primitives, a dense symmetric (Jacobi) eigensolver used
+// to cross-validate sparse methods, and Sturm-sequence bisection for
+// the eigenvalues of symmetric tridiagonal matrices produced by the
+// Lanczos process.
+package linalg
+
+import "math"
+
+// Dot returns the inner product of x and y. The slices must have equal
+// length.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Norm1 returns the L1 norm of x.
+func Norm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NormInf returns the maximum absolute entry of x.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Scale multiplies x by a in place.
+func Scale(x []float64, a float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Normalize scales x to unit Euclidean norm in place and returns the
+// original norm. A zero vector is left unchanged.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n == 0 {
+		return 0
+	}
+	Scale(x, 1/n)
+	return n
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Sub computes dst = x - y.
+func Sub(dst, x, y []float64) {
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// Sum returns the sum of the entries of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Fill sets every entry of x to a.
+func Fill(x []float64, a float64) {
+	for i := range x {
+		x[i] = a
+	}
+}
+
+// OrthogonalizeAgainst removes from x its component along the unit
+// vector q: x -= (q·x) q.
+func OrthogonalizeAgainst(x, q []float64) {
+	Axpy(-Dot(q, x), q, x)
+}

@@ -1,0 +1,74 @@
+package markov
+
+import (
+	"math/rand/v2"
+
+	"mixtime/internal/graph"
+)
+
+// MCTrace estimates the TV-distance curve from src by simulating
+// walks random walks for maxT steps and comparing the empirical
+// endpoint distribution with π after every step. It is the
+// Monte-Carlo alternative to exact propagation: cheaper per step on
+// huge graphs (O(walks) vs O(m)) but noisy — the TV estimate is biased
+// upward by sampling error of order √(n/walks), so exact propagation
+// is the method of record (and what the paper uses). Kept as an
+// ablation and as a cross-check.
+func (c *Chain) MCTrace(src graph.NodeID, maxT, walks int, rng *rand.Rand) *Trace {
+	n := c.g.NumNodes()
+	pos := make([]graph.NodeID, walks)
+	for i := range pos {
+		pos[i] = src
+	}
+	counts := make([]float64, n)
+	tv := make([]float64, maxT)
+	invWalks := 1 / float64(walks)
+	for t := 0; t < maxT; t++ {
+		for i, v := range pos {
+			if c.lazy && rng.IntN(2) == 0 {
+				continue
+			}
+			adj := c.g.Neighbors(v)
+			pos[i] = adj[rng.IntN(len(adj))]
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, v := range pos {
+			counts[v]++
+		}
+		var s float64
+		for v := 0; v < n; v++ {
+			d := counts[v]*invWalks - c.pi[v]
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		tv[t] = s / 2
+	}
+	return &Trace{Source: src, TV: tv}
+}
+
+// SampleSources draws k vertices uniformly at random (with
+// replacement if k exceeds n) for use as trace sources.
+func SampleSources(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	n := g.NumNodes()
+	if k >= n {
+		out := make([]graph.NodeID, n)
+		for i := range out {
+			out[i] = graph.NodeID(i)
+		}
+		return out
+	}
+	out := make([]graph.NodeID, 0, k)
+	seen := make(map[graph.NodeID]bool, k)
+	for len(out) < k {
+		v := graph.NodeID(rng.IntN(n))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

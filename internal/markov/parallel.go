@@ -1,0 +1,57 @@
+package markov
+
+import (
+	"runtime"
+	"sync"
+
+	"mixtime/internal/graph"
+)
+
+// TraceSampleParallel is TraceSample fanned out over a worker pool.
+// A Chain is immutable, so traces from different sources are
+// independent; each worker owns its propagation buffers. workers ≤ 0
+// uses GOMAXPROCS. Results are in source order, identical to the
+// sequential ones.
+func (c *Chain) TraceSampleParallel(sources []graph.NodeID, maxT, workers int) []*Trace {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers <= 1 {
+		return c.TraceSample(sources, maxT)
+	}
+	traces := make([]*Trace, len(sources))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(sources) {
+					return
+				}
+				traces[i] = c.TraceFrom(sources[i], maxT)
+			}
+		}()
+	}
+	wg.Wait()
+	return traces
+}
+
+// TraceAllParallel is TraceAll over the worker pool.
+func (c *Chain) TraceAllParallel(maxT, workers int) []*Trace {
+	n := c.g.NumNodes()
+	sources := make([]graph.NodeID, n)
+	for i := range sources {
+		sources[i] = graph.NodeID(i)
+	}
+	return c.TraceSampleParallel(sources, maxT, workers)
+}

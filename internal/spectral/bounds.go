@@ -1,0 +1,68 @@
+package spectral
+
+import "math"
+
+// MixingLowerBound returns the Sinclair lower bound on the mixing
+// time, T(ε) ≥ µ/(2(1−µ)) · ln(1/2ε) — the bound the paper plots in
+// Figures 1, 2, 5, 6 and 7. The result is in walk steps (not rounded).
+// µ must lie in [0, 1); µ ≥ 1 yields +Inf (the chain never mixes).
+func MixingLowerBound(mu, eps float64) float64 {
+	if mu >= 1 {
+		return math.Inf(1)
+	}
+	if mu <= 0 || eps >= 0.5 {
+		return 0
+	}
+	return mu / (2 * (1 - mu)) * math.Log(1/(2*eps))
+}
+
+// MixingUpperBound returns the Sinclair upper bound
+// T(ε) ≤ (ln n + ln 1/ε) / (1−µ).
+func MixingUpperBound(mu, eps float64, n int) float64 {
+	if mu >= 1 {
+		return math.Inf(1)
+	}
+	return (math.Log(float64(n)) + math.Log(1/eps)) / (1 - mu)
+}
+
+// EpsilonAtWalkLength inverts the lower bound: the variation distance
+// ε that the bound associates with a walk of length t,
+// ε(t) = ½·exp(−2t(1−µ)/µ). This is the "Lower-bound" curve the
+// paper draws against the sampled per-source distances in Figures 5
+// and 7 (ε on the y axis, walk length on the x axis).
+func EpsilonAtWalkLength(mu float64, t float64) float64 {
+	if mu <= 0 {
+		return 0
+	}
+	if mu >= 1 {
+		return 0.5
+	}
+	return 0.5 * math.Exp(-2*t*(1-mu)/mu)
+}
+
+// FastMixingWalkLength returns O(log n) — the walk length the Sybil
+// defense literature assumes suffices, with the conventional constant
+// 1: ⌈ln n⌉. The paper's headline comparison is measured T(ε) versus
+// this value.
+func FastMixingWalkLength(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(float64(n))))
+}
+
+// CheegerBounds returns the two-sided Cheeger inequality on the graph
+// conductance Φ in terms of λ₂:
+//
+//	(1−λ₂)/2  ≤  Φ  ≤  √(2(1−λ₂)).
+//
+// Small spectral gap (slow mixing) certifies small conductance, i.e.
+// pronounced community structure — the §5 link to Viswanath et al.'s
+// community-detection view of Sybil defenses.
+func CheegerBounds(lambda2 float64) (lo, hi float64) {
+	gap := 1 - lambda2
+	if gap < 0 {
+		gap = 0
+	}
+	return gap / 2, math.Sqrt(2 * gap)
+}

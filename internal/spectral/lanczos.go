@@ -1,0 +1,227 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+
+	"mixtime/internal/graph"
+	"mixtime/internal/linalg"
+)
+
+// SLEMLanczos estimates µ with the symmetric Lanczos process on S,
+// started orthogonal to the known top eigenvector v₁ and kept that
+// way by full reorthogonalization (against v₁ and the whole Krylov
+// basis — numerically mandatory, or ghost copies of λ₁ reappear).
+// After k steps the extremal eigenvalues of the k×k tridiagonal
+// matrix — obtained by Sturm bisection — approximate λ₂ and λ_n from
+// the inside, converging far faster than power iteration when the
+// spectral gap is small, which is exactly the slow-mixing regime this
+// project measures.
+//
+// Memory is O(k·n) for the stored basis; Options.MaxIter caps k
+// (default 500). The estimate converges when both extremes move less
+// than Tol between consecutive steps, checked over a 3-step window.
+func SLEMLanczos(g *graph.Graph, opt Options) (*Estimate, error) {
+	op, err := NewOperator(g)
+	if err != nil {
+		return nil, err
+	}
+	return slemLanczosOp(op, opt)
+}
+
+func slemLanczosOp(op *Operator, opt Options) (*Estimate, error) {
+	opt = opt.withDefaults(500)
+	n := op.Dim()
+	if n < 2 {
+		return nil, errors.New("spectral: graph too small for SLEM")
+	}
+	maxK := opt.MaxIter
+	if maxK > n-1 {
+		maxK = n - 1 // Krylov space of v₁⊥ has dimension n-1
+	}
+	// The stored basis costs 8·k·n bytes; cap it at ~2 GiB so
+	// million-node graphs don't exhaust memory (SLEM falls back to
+	// the O(n)-memory power iteration when the capped run fails to
+	// converge).
+	if budget := int(2 << 30 / (8 * int64(n))); maxK > budget && budget >= 32 {
+		maxK = budget
+	}
+
+	rng := rand.New(rand.NewPCG(opt.Seed, 0x1a9c))
+	basis := make([][]float64, 0, 16)
+	alpha := make([]float64, 0, 16)
+	beta := make([]float64, 0, 16) // beta[i] couples basis[i], basis[i+1]
+
+	q := make([]float64, n)
+	randomUnit(q, rng)
+	op.Deflate(q)
+	if linalg.Normalize(q) == 0 {
+		return nil, errors.New("spectral: degenerate start vector")
+	}
+	basis = append(basis, append([]float64(nil), q...))
+
+	w := make([]float64, n)
+	scratch := make([]float64, n)
+	var prevLo, prevHi float64
+	stable := 0
+	iters := 0
+	converged := false
+
+	for k := 0; k < maxK; k++ {
+		iters++
+		op.Apply(w, basis[k], scratch)
+		a := linalg.Dot(basis[k], w)
+		alpha = append(alpha, a)
+
+		// w ← w − a·q_k − β_{k-1}·q_{k-1}, then full reorthogonalization.
+		linalg.Axpy(-a, basis[k], w)
+		if k > 0 {
+			linalg.Axpy(-beta[k-1], basis[k-1], w)
+		}
+		op.Deflate(w)
+		for _, b := range basis {
+			linalg.OrthogonalizeAgainst(w, b)
+		}
+
+		// Convergence check on the current tridiagonal extremes.
+		tri := &linalg.Tridiag{Diag: alpha, Off: beta}
+		lo, hi := tri.Extremes(opt.Tol / 10)
+		if k > 0 && math.Abs(lo-prevLo) < opt.Tol && math.Abs(hi-prevHi) < opt.Tol {
+			stable++
+			if stable >= 3 {
+				converged = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+		prevLo, prevHi = lo, hi
+
+		b := linalg.Norm2(w)
+		if b < 1e-14 {
+			// Krylov space exhausted: the tridiagonal spectrum is exact.
+			converged = true
+			break
+		}
+		beta = append(beta, b)
+		linalg.Scale(w, 1/b)
+		basis = append(basis, append([]float64(nil), w...))
+	}
+
+	tri := &linalg.Tridiag{Diag: alpha, Off: beta[:len(alpha)-1]}
+	lambdaN, lambda2 := tri.Extremes(opt.Tol / 10)
+	return &Estimate{
+		Mu:         math.Max(math.Abs(lambda2), math.Abs(lambdaN)),
+		Lambda2:    lambda2,
+		LambdaN:    lambdaN,
+		Iterations: iters,
+		Converged:  converged,
+	}, nil
+}
+
+// Profile returns the k largest eigenvalues of P below λ₁ = 1
+// (λ₂ ≥ λ₃ ≥ … ≥ λ_{k+1}), estimated from the Lanczos tridiagonal
+// with the deflated start. The count of eigenvalues near 1 is the
+// spectral community count: a graph with c strong communities has
+// c−1 eigenvalues close to 1, which is why slow mixing and community
+// structure are the same observation (§3.2/§5 of the paper).
+func Profile(g *graph.Graph, k int, opt Options) ([]float64, error) {
+	op, err := NewOperator(g)
+	if err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(500)
+	if k < 1 {
+		k = 1
+	}
+	// Interior Ritz values need a larger Krylov space than the
+	// extremes; give the solver headroom.
+	if opt.MaxIter < 6*k {
+		opt.MaxIter = 6 * k
+	}
+	tri, err := lanczosTridiagonal(op, opt)
+	if err != nil {
+		return nil, err
+	}
+	dim := tri.Dim()
+	if k > dim {
+		k = dim
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = tri.Eigenvalue(dim-1-i, opt.Tol/10)
+	}
+	return out, nil
+}
+
+// lanczosTridiagonal runs the deflated Lanczos process to completion
+// (MaxIter steps or Krylov exhaustion) and returns the tridiagonal.
+func lanczosTridiagonal(op *Operator, opt Options) (*linalg.Tridiag, error) {
+	n := op.Dim()
+	if n < 2 {
+		return nil, errors.New("spectral: graph too small")
+	}
+	maxK := opt.MaxIter
+	if maxK > n-1 {
+		maxK = n - 1
+	}
+	// Same ~2 GiB basis budget as the SLEM path.
+	if budget := int(2 << 30 / (8 * int64(n))); maxK > budget && budget >= 32 {
+		maxK = budget
+	}
+	rng := rand.New(rand.NewPCG(opt.Seed, 0x1a9d))
+	basis := make([][]float64, 0, maxK)
+	alpha := make([]float64, 0, maxK)
+	beta := make([]float64, 0, maxK)
+	q := make([]float64, n)
+	randomUnit(q, rng)
+	op.Deflate(q)
+	if linalg.Normalize(q) == 0 {
+		return nil, errors.New("spectral: degenerate start vector")
+	}
+	basis = append(basis, append([]float64(nil), q...))
+	w := make([]float64, n)
+	scratch := make([]float64, n)
+	for k := 0; k < maxK; k++ {
+		op.Apply(w, basis[k], scratch)
+		a := linalg.Dot(basis[k], w)
+		alpha = append(alpha, a)
+		linalg.Axpy(-a, basis[k], w)
+		if k > 0 {
+			linalg.Axpy(-beta[k-1], basis[k-1], w)
+		}
+		op.Deflate(w)
+		for _, b := range basis {
+			linalg.OrthogonalizeAgainst(w, b)
+		}
+		bnorm := linalg.Norm2(w)
+		if bnorm < 1e-14 {
+			break
+		}
+		if k+1 < maxK {
+			beta = append(beta, bnorm)
+			linalg.Scale(w, 1/bnorm)
+			basis = append(basis, append([]float64(nil), w...))
+		}
+	}
+	return &linalg.Tridiag{Diag: alpha, Off: beta[:len(alpha)-1]}, nil
+}
+
+// SLEM estimates µ with the default method (Lanczos), falling back to
+// power iteration if Lanczos fails to converge within its iteration
+// budget. This is the entry point the experiment drivers use.
+func SLEM(g *graph.Graph, opt Options) (*Estimate, error) {
+	est, err := SLEMLanczos(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	if est.Converged {
+		return est, nil
+	}
+	pow, err := SLEMPower(g, opt)
+	if err != nil || !pow.Converged {
+		return est, nil // keep the (unconverged) Lanczos estimate
+	}
+	return pow, nil
+}

@@ -1,0 +1,158 @@
+// Package spectral estimates the second largest eigenvalue modulus
+// (SLEM, µ) of the random-walk transition matrix P = D⁻¹A and derives
+// the mixing-time bounds of Sinclair (Theorem 2 of the paper):
+//
+//	µ/(2(1−µ))·ln(1/2ε)  ≤  T(ε)  ≤  (ln n + ln 1/ε)/(1−µ).
+//
+// P is not symmetric, but it is similar to S = D^{-1/2} A D^{-1/2},
+// which is. All spectral computation happens on S, whose top
+// eigenpair is known in closed form (λ₁ = 1, v₁[i] = √(deg(i)/2m)),
+// so λ₂ and λ_n are reachable by deflated power iteration or by
+// Lanczos — both hand-rolled here on the sparse CSR graph, since the
+// Go ecosystem offers no sparse symmetric eigensolver and the dense
+// route is hopeless at social-graph scale.
+package spectral
+
+import (
+	"errors"
+	"math"
+
+	"mixtime/internal/graph"
+	"mixtime/internal/linalg"
+)
+
+// Operator is the symmetrized walk operator S = D^{-1/2} A D^{-1/2}
+// of a graph — or, when weights is set, S = D_w^{-1/2} W D_w^{-1/2}
+// for a weighted graph — applied matrix-free against the CSR
+// adjacency. Immutable and safe for concurrent use.
+type Operator struct {
+	g          *graph.Graph
+	invSqrtDeg []float64 // 1/√strength(v) (strength = degree unweighted)
+	v1         []float64 // unit top eigenvector √(strength/total)
+	weights    []float64 // CSR-aligned edge weights; nil = unweighted
+}
+
+// NewOperator builds the operator. The graph must be non-empty with
+// no isolated vertices.
+func NewOperator(g *graph.Graph) (*Operator, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, errors.New("spectral: empty graph")
+	}
+	op := &Operator{
+		g:          g,
+		invSqrtDeg: make([]float64, n),
+		v1:         make([]float64, n),
+	}
+	twoM := float64(2 * g.NumEdges())
+	if twoM == 0 {
+		return nil, errors.New("spectral: graph has no edges")
+	}
+	for v := 0; v < n; v++ {
+		d := float64(g.Degree(graph.NodeID(v)))
+		if d == 0 {
+			return nil, errors.New("spectral: graph has an isolated vertex")
+		}
+		op.invSqrtDeg[v] = 1 / math.Sqrt(d)
+		op.v1[v] = math.Sqrt(d / twoM)
+	}
+	return op, nil
+}
+
+// Dim returns the operator dimension n.
+func (op *Operator) Dim() int { return op.g.NumNodes() }
+
+// Graph returns the underlying graph.
+func (op *Operator) Graph() *graph.Graph { return op.g }
+
+// TopEigenvector returns the unit eigenvector for λ₁ = 1. The slice
+// is shared; callers must not modify it.
+func (op *Operator) TopEigenvector() []float64 { return op.v1 }
+
+// Apply computes dst = S·x. dst and x must have length Dim and must
+// not alias. scratch, if non-nil with the right length, avoids an
+// allocation.
+func (op *Operator) Apply(dst, x, scratch []float64) {
+	n := op.Dim()
+	w := scratch
+	if len(w) != n {
+		w = make([]float64, n)
+	}
+	for v := 0; v < n; v++ {
+		w[v] = x[v] * op.invSqrtDeg[v]
+	}
+	if op.weights != nil {
+		idx := 0
+		for v := 0; v < n; v++ {
+			var s float64
+			for _, u := range op.g.Neighbors(graph.NodeID(v)) {
+				s += op.weights[idx] * w[u]
+				idx++
+			}
+			dst[v] = s * op.invSqrtDeg[v]
+		}
+		return
+	}
+	for v := 0; v < n; v++ {
+		var s float64
+		for _, u := range op.g.Neighbors(graph.NodeID(v)) {
+			s += w[u]
+		}
+		dst[v] = s * op.invSqrtDeg[v]
+	}
+}
+
+// Deflate removes the v₁ component from x in place, confining
+// iteration to the orthogonal complement where λ₂ is the top
+// eigenvalue.
+func (op *Operator) Deflate(x []float64) {
+	linalg.OrthogonalizeAgainst(x, op.v1)
+}
+
+// WalkMatrix materializes the dense transition matrix P = D⁻¹A.
+// Exponential in memory (n²); intended for tests and small graphs.
+func WalkMatrix(g *graph.Graph) [][]float64 {
+	n := g.NumNodes()
+	p := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		p[v] = make([]float64, n)
+		d := float64(g.Degree(graph.NodeID(v)))
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			p[v][u] = 1 / d
+		}
+	}
+	return p
+}
+
+// DenseSpectrum computes the full spectrum of P via a dense Jacobi
+// eigensolve of the similar symmetric S. O(n³); the validation oracle
+// for the sparse estimators. Eigenvalues are returned ascending.
+func DenseSpectrum(g *graph.Graph) ([]float64, error) {
+	op, err := NewOperator(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	s := linalg.NewSymDense(n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			s.Set(v, int(u), op.invSqrtDeg[v]*op.invSqrtDeg[u])
+		}
+	}
+	vals, _, err := linalg.EigenSym(s, false)
+	return vals, err
+}
+
+// DenseSLEM computes µ = max(|λ₂|, |λ_n|) exactly (up to Jacobi
+// precision) from the dense spectrum. For tests and small graphs.
+func DenseSLEM(g *graph.Graph) (float64, error) {
+	vals, err := DenseSpectrum(g)
+	if err != nil {
+		return 0, err
+	}
+	n := len(vals)
+	if n < 2 {
+		return 0, errors.New("spectral: graph too small for SLEM")
+	}
+	return math.Max(math.Abs(vals[n-2]), math.Abs(vals[0])), nil
+}

@@ -1,0 +1,122 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"mixtime/internal/graph"
+)
+
+// csrWeights builds a CSR-aligned uniform weight slice for g.
+func csrWeights(g *graph.Graph, w float64) []float64 {
+	var slots int
+	for v := 0; v < g.NumNodes(); v++ {
+		slots += g.Degree(graph.NodeID(v))
+	}
+	out := make([]float64, slots)
+	for i := range out {
+		out[i] = w
+	}
+	return out
+}
+
+func TestWeightedOperatorValidation(t *testing.T) {
+	g := complete(5)
+	if _, err := NewWeightedOperator(&graph.Graph{}, nil); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := NewWeightedOperator(g, make([]float64, 3)); err == nil {
+		t.Fatal("misaligned weights accepted")
+	}
+	bad := csrWeights(g, 1)
+	bad[0] = -2
+	if _, err := NewWeightedOperator(g, bad); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	bad[0] = math.NaN()
+	if _, err := NewWeightedOperator(g, bad); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+}
+
+func TestUniformWeightsMatchUnweighted(t *testing.T) {
+	// Constant weights rescale away: the walk operator is identical,
+	// so SLEM estimates must agree with the unweighted path.
+	g := connectedRandom(40, 60, 41)
+	op, err := NewWeightedOperator(g, csrWeights(g, 2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := SLEMOf(op, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := SLEM(g, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(weighted.Mu-plain.Mu) > 1e-7 {
+		t.Fatalf("weighted µ=%v vs plain µ=%v", weighted.Mu, plain.Mu)
+	}
+	// Both ops expose the same stationary distribution (deg/2m).
+	s := op.Strengths()
+	twoM := float64(2 * g.NumEdges())
+	for v := 0; v < g.NumNodes(); v++ {
+		want := float64(g.Degree(graph.NodeID(v))) / twoM
+		if math.Abs(s[v]-want) > 1e-12 {
+			t.Fatalf("strength π[%d]=%v want %v", v, s[v], want)
+		}
+	}
+	if op.Graph() != g {
+		t.Fatal("Graph accessor")
+	}
+}
+
+func TestWeightedPowerAndLanczosAgree(t *testing.T) {
+	g := connectedRandom(35, 45, 43)
+	// Non-uniform symmetric weights: slot weight = 1/(1+u+v).
+	w := make([]float64, 0)
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			w = append(w, 1/float64(1+int(u)+v))
+		}
+	}
+	op, err := NewWeightedOperator(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pow, err := SLEMPowerOp(op, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, _ := NewWeightedOperator(g, w)
+	lan, err := SLEMLanczosOp(op2, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pow.Mu-lan.Mu) > 1e-6 {
+		t.Fatalf("power %v vs lanczos %v", pow.Mu, lan.Mu)
+	}
+	// Top eigenvector of the weighted S is invariant.
+	v1 := op.TopEigenvector()
+	sv := make([]float64, g.NumNodes())
+	op.Apply(sv, v1, nil)
+	for i := range v1 {
+		if math.Abs(sv[i]-v1[i]) > 1e-10 {
+			t.Fatalf("S·v1 ≠ v1 at %d", i)
+		}
+	}
+}
+
+func TestSLEMFallbackPath(t *testing.T) {
+	// Force Lanczos to fail (MaxIter 1) so SLEM exercises the power
+	// fallback.
+	g := complete(12)
+	est, err := SLEM(g, Options{Tol: 1e-10, MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mu-1.0/11) > 1e-6 {
+		t.Fatalf("fallback µ = %v, want 1/11", est.Mu)
+	}
+}

@@ -1,0 +1,110 @@
+package sybil
+
+import (
+	"testing"
+
+	"mixtime/internal/gen"
+	"mixtime/internal/graph"
+)
+
+func TestSumUpValidation(t *testing.T) {
+	if _, err := SumUp(&graph.Graph{}, 0, nil, SumUpConfig{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	g := gen.Complete(4)
+	if _, err := SumUp(g, 99, nil, SumUpConfig{}); err == nil {
+		t.Fatal("collector out of range accepted")
+	}
+	if _, err := SumUp(g, 0, []graph.NodeID{99}, SumUpConfig{}); err == nil {
+		t.Fatal("voter out of range accepted")
+	}
+}
+
+func TestSumUpCollectsHonestVotes(t *testing.T) {
+	// Fast-mixing graph, all honest voters: nearly every vote should
+	// reach the collector when Cmax is sized correctly.
+	g := fastGraph(300)
+	voters := AllHonest(g, 0)
+	res, err := SumUp(g, 0, voters, SumUpConfig{Cmax: len(voters)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CollectionRate() < 0.9 {
+		t.Fatalf("collection rate %v (envelope %d)", res.CollectionRate(), res.EnvelopeSize)
+	}
+	// Collected flags must sum to NumCollected.
+	count := 0
+	for _, c := range res.Collected {
+		if c {
+			count++
+		}
+	}
+	if count != res.NumCollected {
+		t.Fatalf("flags %d vs flow %d", count, res.NumCollected)
+	}
+}
+
+func TestSumUpBoundsSybilVotes(t *testing.T) {
+	// A sybil region with unlimited identities behind g attack edges:
+	// collected sybil votes are bounded by ~(attack edges) + slack,
+	// no matter how many sybils vote.
+	honest := fastGraph(300)
+	sybilRegion := gen.Complete(80) // a dense sybil farm
+	const gEdges = 3
+	a := NewAttack(honest, sybilRegion, gEdges, rng(11))
+	sybils := a.Sybils()
+	res, err := SumUp(a.Combined, 0, sybils, SumUpConfig{Cmax: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each attack edge admits at most (tickets on it + 1) votes; with
+	// the collector far from the attack edges the tickets there are
+	// scarce, so the bound is close to gEdges. Allow generous slack
+	// for envelope overlap.
+	if res.NumCollected > gEdges*4 {
+		t.Fatalf("%d sybil votes collected through %d attack edges", res.NumCollected, gEdges)
+	}
+	if res.NumCollected == 0 {
+		t.Fatal("no sybil votes at all — attack wiring broken?")
+	}
+}
+
+func TestSumUpCmaxScalesCollection(t *testing.T) {
+	// With a tiny Cmax the envelope throttles even honest votes;
+	// raising Cmax collects more.
+	g := fastGraph(400)
+	voters := AllHonest(g, 0)
+	small, err := SumUp(g, 0, voters, SumUpConfig{Cmax: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := SumUp(g, 0, voters, SumUpConfig{Cmax: len(voters)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NumCollected >= large.NumCollected {
+		t.Fatalf("Cmax=5 collected %d, Cmax=n collected %d", small.NumCollected, large.NumCollected)
+	}
+	// The collector's direct capacity still bounds collection:
+	// Cmax tickets + deg(collector) units.
+	limit := 5 + g.Degree(0)
+	if small.NumCollected > limit {
+		t.Fatalf("collected %d exceeds envelope limit %d", small.NumCollected, limit)
+	}
+}
+
+func TestSumUpEnvelopeGrowsWithCmax(t *testing.T) {
+	g := fastGraph(400)
+	voters := AllHonest(g, 0)[:50]
+	a, err := SumUp(g, 0, voters, SumUpConfig{Cmax: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SumUp(g, 0, voters, SumUpConfig{Cmax: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.EnvelopeSize <= a.EnvelopeSize {
+		t.Fatalf("envelope did not grow: %d vs %d", a.EnvelopeSize, b.EnvelopeSize)
+	}
+}

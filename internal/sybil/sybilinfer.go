@@ -1,0 +1,210 @@
+package sybil
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+
+	"mixtime/internal/graph"
+	"mixtime/internal/walk"
+)
+
+// InferConfig parameterizes SybilInfer (Danezis & Mittal, NDSS 2009)
+// — the Bayesian detection mechanism the paper lists among the
+// defenses whose fast-mixing assumption it measures.
+type InferConfig struct {
+	// WalksPerNode is the number of trace walks each node starts
+	// (default 20).
+	WalksPerNode int
+	// W is the trace walk length (default ⌈ln n⌉ — the fast-mixing
+	// assumption embedded in the protocol; the paper's finding is
+	// exactly that this is too short on real graphs).
+	W int
+	// Samples is the number of retained Metropolis–Hastings samples
+	// (default 300); Burn is the discarded prefix (default
+	// Samples/2). One sweep of n single-node proposals separates
+	// consecutive samples.
+	Samples, Burn int
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+func (c InferConfig) withDefaults(n int) InferConfig {
+	if c.WalksPerNode <= 0 {
+		c.WalksPerNode = 20
+	}
+	if c.W <= 0 {
+		c.W = int(math.Ceil(math.Log(float64(n))))
+		if c.W < 1 {
+			c.W = 1
+		}
+	}
+	if c.Samples <= 0 {
+		c.Samples = 300
+	}
+	if c.Burn <= 0 {
+		c.Burn = c.Samples / 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// InferResult is the marginal posterior of SybilInfer: per node, the
+// fraction of sampled honest sets containing it.
+type InferResult struct {
+	// HonestProb[v] estimates P(v honest | traces).
+	HonestProb []float64
+	// W echoes the trace walk length used.
+	W int
+}
+
+// Classify returns the nodes whose honest probability is at least
+// threshold.
+func (r *InferResult) Classify(threshold float64) []graph.NodeID {
+	var out []graph.NodeID
+	for v, p := range r.HonestProb {
+		if p >= threshold {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// SybilInfer runs the inference over endpoint traces of short random
+// walks, following the generative model of the SybilInfer paper:
+// under the hypothesis "X is the honest set", a trace walk started in
+// X is fast-mixing within X, so its endpoint e ∈ X carries probability
+// deg(e)/vol(X) (the stationary distribution restricted to X), while
+// endpoints that escape X — and all walks started outside X — are
+// adversary-controlled and modeled as uniform (1/n). The posterior
+// therefore prefers sets across whose boundary few trace walks flow
+// and whose internal endpoints look stationary: exactly the sparse
+// honest/sybil cut. Metropolis–Hastings with single-node flips
+// explores the set space; marginals average membership over retained
+// samples.
+//
+// Detection power inherits the fast-mixing assumption the host paper
+// measures: with W ≈ ln n on a slow-mixing graph, honest-region
+// endpoints are far from stationary and the honest/sybil marginals
+// blur.
+func SybilInfer(g *graph.Graph, cfg InferConfig) (*InferResult, error) {
+	n := g.NumNodes()
+	if n < 2 || g.MinDegree() < 1 {
+		return nil, errors.New("sybil: graph unsuitable for tracing")
+	}
+	cfg = cfg.withDefaults(n)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x1f3a))
+
+	// Traces: endpoints of WalksPerNode plain walks per node, plus a
+	// reverse index of walks by endpoint.
+	ends := make([][]graph.NodeID, n)
+	endedAt := make([][]graph.NodeID, n) // endpoint → walk start nodes
+	for v := 0; v < n; v++ {
+		ends[v] = make([]graph.NodeID, cfg.WalksPerNode)
+		for k := range ends[v] {
+			e := walk.Endpoint(g, graph.NodeID(v), cfg.W, rng)
+			ends[v][k] = e
+			endedAt[e] = append(endedAt[e], graph.NodeID(v))
+		}
+	}
+	logDeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		logDeg[v] = math.Log(float64(g.Degree(graph.NodeID(v))))
+	}
+	logN := math.Log(float64(n))
+
+	// State: X membership, vol(X), and for the "qualifying" walks
+	// (start ∈ X and end ∈ X) the count and Σ log deg(end). Up to the
+	// constant −(total walks)·log n, the log-likelihood is
+	//
+	//	logL = Σ_qualifying log deg(end) − N_XX·log vol(X) + N_XX·log n.
+	inX := make([]bool, n)
+	volX := 0.0
+	var nXX int
+	var sumLogDeg float64
+	for v := range inX {
+		inX[v] = true
+		volX += float64(g.Degree(graph.NodeID(v)))
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range ends[v] {
+			nXX++
+			sumLogDeg += logDeg[e]
+		}
+	}
+
+	logL := func() float64 {
+		if nXX == 0 {
+			return 0 // everything adversarial: the dropped constant
+		}
+		return sumLogDeg + float64(nXX)*(logN-math.Log(volX))
+	}
+
+	// flip toggles u's membership, maintaining the sufficient
+	// statistics exactly (see the ordering notes: a walk from u to u
+	// is counted exactly once, in the ends[u] scan).
+	flip := func(u graph.NodeID) {
+		if inX[u] {
+			for _, e := range ends[u] {
+				if inX[e] {
+					nXX--
+					sumLogDeg -= logDeg[e]
+				}
+			}
+			for _, s := range endedAt[u] {
+				if s != u && inX[s] {
+					nXX--
+					sumLogDeg -= logDeg[u]
+				}
+			}
+			inX[u] = false
+			volX -= float64(g.Degree(u))
+		} else {
+			inX[u] = true
+			volX += float64(g.Degree(u))
+			for _, s := range endedAt[u] {
+				if s != u && inX[s] {
+					nXX++
+					sumLogDeg += logDeg[u]
+				}
+			}
+			for _, e := range ends[u] {
+				if inX[e] {
+					nXX++
+					sumLogDeg += logDeg[e]
+				}
+			}
+		}
+	}
+
+	cur := logL()
+	counts := make([]float64, n)
+	total := cfg.Samples + cfg.Burn
+	for iter := 0; iter < total; iter++ {
+		for k := 0; k < n; k++ {
+			u := graph.NodeID(rng.IntN(n))
+			flip(u)
+			prop := logL()
+			if prop >= cur || rng.Float64() < math.Exp(prop-cur) {
+				cur = prop
+			} else {
+				flip(u)
+			}
+		}
+		if iter >= cfg.Burn {
+			for v := 0; v < n; v++ {
+				if inX[v] {
+					counts[v]++
+				}
+			}
+		}
+	}
+	res := &InferResult{HonestProb: counts, W: cfg.W}
+	inv := 1 / float64(cfg.Samples)
+	for v := range res.HonestProb {
+		res.HonestProb[v] *= inv
+	}
+	return res, nil
+}

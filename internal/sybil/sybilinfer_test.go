@@ -1,0 +1,117 @@
+package sybil
+
+import (
+	"testing"
+
+	"mixtime/internal/gen"
+	"mixtime/internal/graph"
+)
+
+func TestSybilInferValidation(t *testing.T) {
+	if _, err := SybilInfer(&graph.Graph{}, InferConfig{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	b := graph.NewBuilder(0)
+	b.AddEdge(0, 1)
+	b.AddNode(2)
+	if _, err := SybilInfer(b.Build(), InferConfig{}); err == nil {
+		t.Fatal("isolated vertex accepted")
+	}
+}
+
+func TestSybilInferDefaults(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 4, rng(1))
+	res, err := SybilInfer(g, InferConfig{Samples: 20, Burn: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HonestProb) != 100 {
+		t.Fatalf("%d marginals", len(res.HonestProb))
+	}
+	// W defaults to ceil(ln 100) = 5.
+	if res.W != 5 {
+		t.Fatalf("default W = %d", res.W)
+	}
+	for v, p := range res.HonestProb {
+		if p < 0 || p > 1 {
+			t.Fatalf("marginal[%d] = %v", v, p)
+		}
+	}
+}
+
+func TestSybilInferSeparatesSparseCut(t *testing.T) {
+	// A fast-mixing honest region with a sybil cluster behind few
+	// attack edges: the posterior should give honest nodes visibly
+	// higher marginals than sybils.
+	honest := gen.BarabasiAlbert(250, 5, rng(3))
+	sybilRegion := gen.BarabasiAlbert(60, 5, rng(4))
+	a := NewAttack(honest, sybilRegion, 3, rng(5))
+	res, err := SybilInfer(a.Combined, InferConfig{
+		WalksPerNode: 15, W: 8, Samples: 60, Burn: 40, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hSum, sSum float64
+	for v, p := range res.HonestProb {
+		if a.IsSybil(graph.NodeID(v)) {
+			sSum += p
+		} else {
+			hSum += p
+		}
+	}
+	hMean := hSum / float64(a.HonestN)
+	sMean := sSum / float64(a.Combined.NumNodes()-a.HonestN)
+	if hMean <= sMean+0.15 {
+		t.Fatalf("no separation: honest mean %v vs sybil mean %v", hMean, sMean)
+	}
+}
+
+func TestSybilInferClassify(t *testing.T) {
+	res := &InferResult{HonestProb: []float64{0.9, 0.1, 0.55}}
+	got := res.Classify(0.5)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("classify %v", got)
+	}
+}
+
+func TestSybilInferDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 3, rng(7))
+	cfg := InferConfig{WalksPerNode: 10, W: 5, Samples: 15, Burn: 5, Seed: 9}
+	a, err := SybilInfer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SybilInfer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.HonestProb {
+		if a.HonestProb[v] != b.HonestProb[v] {
+			t.Fatalf("marginal %d differs across identical runs", v)
+		}
+	}
+}
+
+func TestSybilGuardFull(t *testing.T) {
+	g := fastGraph(250)
+	full, err := SybilGuardFull(g, 0, AllHonest(g, 0), GuardConfig{W: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.AcceptRate() < 0.5 {
+		t.Fatalf("full-guard accept rate %v", full.AcceptRate())
+	}
+	// The all-routes-must-intersect condition is stricter per route
+	// but uses d routes per side; with tiny walks it still rejects.
+	short, err := SybilGuardFull(g, 0, AllHonest(g, 0), GuardConfig{W: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.AcceptRate() >= full.AcceptRate() {
+		t.Fatalf("w=1 rate %v not below w=40 rate %v", short.AcceptRate(), full.AcceptRate())
+	}
+	if _, err := SybilGuardFull(&graph.Graph{}, 0, nil, GuardConfig{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}

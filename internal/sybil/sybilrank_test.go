@@ -1,0 +1,95 @@
+package sybil
+
+import (
+	"math"
+	"testing"
+
+	"mixtime/internal/gen"
+	"mixtime/internal/graph"
+)
+
+func TestSybilRankValidation(t *testing.T) {
+	g := gen.Complete(5)
+	if _, err := SybilRank(&graph.Graph{}, []graph.NodeID{0}, 0); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := SybilRank(g, nil, 0); err == nil {
+		t.Fatal("no seeds accepted")
+	}
+	if _, err := SybilRank(g, []graph.NodeID{99}, 0); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+}
+
+func TestSybilRankConvergesToUniformNormalized(t *testing.T) {
+	// Many iterations on a fast graph: p → deg/2m, so normalized
+	// scores become constant.
+	g := gen.BarabasiAlbert(300, 5, rng(21))
+	scores, err := SybilRank(g, []graph.NodeID{0}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / float64(2*g.NumEdges())
+	for v, s := range scores {
+		if math.Abs(s-want)/want > 0.05 {
+			t.Fatalf("score[%d] = %v, want ≈%v", v, s, want)
+		}
+	}
+}
+
+func TestSybilRankSeparatesAcrossSparseCut(t *testing.T) {
+	honest := gen.BarabasiAlbert(400, 5, rng(22))
+	region := gen.BarabasiAlbert(100, 5, rng(23))
+	a := NewAttack(honest, region, 2, rng(24))
+	scores, err := SybilRank(a.Combined, []graph.NodeID{0, 7, 21}, 0) // default log2 n
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hMin float64 = math.Inf(1)
+	var sMax float64
+	var hSum, sSum float64
+	for v, s := range scores {
+		if a.IsSybil(graph.NodeID(v)) {
+			sSum += s
+			if s > sMax {
+				sMax = s
+			}
+		} else {
+			hSum += s
+			if s < hMin {
+				hMin = s
+			}
+		}
+	}
+	hMean := hSum / float64(a.HonestN)
+	sMean := sSum / float64(a.Combined.NumNodes()-a.HonestN)
+	if hMean < 5*sMean {
+		t.Fatalf("honest mean %v not well above sybil mean %v", hMean, sMean)
+	}
+}
+
+func TestSybilRankMoreIterationsLeakMoreTrust(t *testing.T) {
+	// The early-termination rationale: running past log n leaks trust
+	// into the sybil region.
+	honest := gen.BarabasiAlbert(400, 5, rng(25))
+	region := gen.BarabasiAlbert(100, 5, rng(26))
+	a := NewAttack(honest, region, 3, rng(27))
+	sybilMass := func(iters int) float64 {
+		scores, err := SybilRank(a.Combined, []graph.NodeID{0}, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for v, s := range scores {
+			if a.IsSybil(graph.NodeID(v)) {
+				sum += s * float64(a.Combined.Degree(graph.NodeID(v)))
+			}
+		}
+		return sum
+	}
+	early := sybilMass(9) // ≈ log2 n
+	late := sybilMass(400)
+	if late <= early {
+		t.Fatalf("late trust mass %v not above early %v", late, early)
+	}
+}

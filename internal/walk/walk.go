@@ -1,0 +1,206 @@
+// Package walk provides random walks on graphs and the "random
+// route" primitive of SybilGuard/SybilLimit: per-node random
+// permutations mapping incoming edge slots to outgoing edge slots, so
+// routes are deterministic per instance, convergent (two routes
+// entering a node along the same edge continue identically) and
+// back-traceable (the slot maps are bijections).
+package walk
+
+import (
+	"math/rand/v2"
+
+	"mixtime/internal/graph"
+)
+
+// DirectedEdge is an ordered traversal of an undirected edge.
+type DirectedEdge struct {
+	From, To graph.NodeID
+}
+
+// Random performs a plain random walk of the given length from start
+// and returns the full vertex trajectory (length+1 vertices).
+func Random(g *graph.Graph, start graph.NodeID, length int, rng *rand.Rand) []graph.NodeID {
+	traj := make([]graph.NodeID, 0, length+1)
+	traj = append(traj, start)
+	cur := start
+	for i := 0; i < length; i++ {
+		adj := g.Neighbors(cur)
+		cur = adj[rng.IntN(len(adj))]
+		traj = append(traj, cur)
+	}
+	return traj
+}
+
+// Endpoint returns the final vertex of a plain random walk of the
+// given length from start.
+func Endpoint(g *graph.Graph, start graph.NodeID, length int, rng *rand.Rand) graph.NodeID {
+	cur := start
+	for i := 0; i < length; i++ {
+		adj := g.Neighbors(cur)
+		cur = adj[rng.IntN(len(adj))]
+	}
+	return cur
+}
+
+// Tail returns the last directed edge of a plain random walk of
+// length ≥ 1.
+func Tail(g *graph.Graph, start graph.NodeID, length int, rng *rand.Rand) DirectedEdge {
+	if length < 1 {
+		length = 1
+	}
+	prev, cur := start, start
+	for i := 0; i < length; i++ {
+		adj := g.Neighbors(cur)
+		prev = cur
+		cur = adj[rng.IntN(len(adj))]
+	}
+	return DirectedEdge{From: prev, To: cur}
+}
+
+// splitmix64 is the standard 64-bit finalizer-based PRNG step; used
+// to derive independent per-(instance, node) permutation seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// smRand is a tiny splitmix64-state PRNG for in-place Fisher–Yates;
+// avoids allocating a rand.Rand per node visit.
+type smRand struct{ state uint64 }
+
+func (s *smRand) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// intn returns a uniform value in [0, n) (n > 0) by rejection-free
+// multiply-shift; bias is negligible for the degree ranges involved.
+func (s *smRand) intn(n int) int {
+	return int((s.next() >> 11) % uint64(n))
+}
+
+// fillPerm writes a uniform random permutation of [0, d) into dst
+// using the seed.
+func fillPerm(dst []uint32, d int, seed uint64) {
+	for i := 0; i < d; i++ {
+		dst[i] = uint32(i)
+	}
+	r := smRand{state: seed}
+	for i := d - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
+// Router steps random routes: given the directed edge (from → at)
+// just traversed, it returns the next hop out of at.
+type Router interface {
+	// Graph returns the routed graph.
+	Graph() *graph.Graph
+	// Step maps the incoming directed edge (from, at) to the next
+	// vertex after at.
+	Step(from, at graph.NodeID) graph.NodeID
+}
+
+// Instance is a materialized random-route instance: every node's
+// permutation is precomputed, O(2m) memory, O(1) per step. Build one
+// per SybilLimit instance, route all nodes, then discard.
+type Instance struct {
+	g    *graph.Graph
+	perm []uint32 // CSR-aligned: perm over v's slots at v's offset
+	off  []int64
+}
+
+// NewInstance materializes the route permutations for the given
+// instance seed.
+func NewInstance(g *graph.Graph, seed uint64) *Instance {
+	n := g.NumNodes()
+	off := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int64(g.Degree(graph.NodeID(v)))
+	}
+	perm := make([]uint32, off[n])
+	for v := 0; v < n; v++ {
+		d := g.Degree(graph.NodeID(v))
+		fillPerm(perm[off[v]:off[v+1]], d, splitmix64(seed)^splitmix64(uint64(v)+0x5bd1))
+	}
+	return &Instance{g: g, perm: perm, off: off}
+}
+
+// Graph returns the routed graph.
+func (in *Instance) Graph() *graph.Graph { return in.g }
+
+// Step implements Router.
+func (in *Instance) Step(from, at graph.NodeID) graph.NodeID {
+	slot := in.g.EdgeSlot(at, from)
+	out := in.perm[in.off[at]+int64(slot)]
+	return in.g.Neighbors(at)[out]
+}
+
+// Lazy is a route instance that regenerates each node's permutation
+// on demand from the PRF seed: zero persistent memory, O(deg) work
+// per step. The memory/time trade-off against Instance is an ablation
+// benchmark in the harness.
+type Lazy struct {
+	g       *graph.Graph
+	seed    uint64
+	scratch []uint32
+}
+
+// NewLazy creates a lazy route instance. Not safe for concurrent use
+// (it reuses a scratch buffer).
+func NewLazy(g *graph.Graph, seed uint64) *Lazy {
+	return &Lazy{g: g, seed: seed, scratch: make([]uint32, g.MaxDegree())}
+}
+
+// Graph returns the routed graph.
+func (l *Lazy) Graph() *graph.Graph { return l.g }
+
+// Step implements Router.
+func (l *Lazy) Step(from, at graph.NodeID) graph.NodeID {
+	d := l.g.Degree(at)
+	p := l.scratch[:d]
+	fillPerm(p, d, splitmix64(l.seed)^splitmix64(uint64(at)+0x5bd1))
+	slot := l.g.EdgeSlot(at, from)
+	return l.g.Neighbors(at)[p[slot]]
+}
+
+// Route walks a random route of length w (w ≥ 1 edges) from start,
+// taking the given first slot out of start, and returns the tail (the
+// last directed edge traversed).
+func Route(r Router, start graph.NodeID, firstSlot, w int) DirectedEdge {
+	g := r.Graph()
+	from := start
+	at := g.Neighbors(start)[firstSlot]
+	for i := 1; i < w; i++ {
+		from, at = at, r.Step(from, at)
+	}
+	return DirectedEdge{From: from, To: at}
+}
+
+// RouteTrace is Route returning the full vertex trajectory
+// (w+1 vertices), for tests and diagnostics.
+func RouteTrace(r Router, start graph.NodeID, firstSlot, w int) []graph.NodeID {
+	g := r.Graph()
+	traj := make([]graph.NodeID, 0, w+1)
+	from := start
+	at := g.Neighbors(start)[firstSlot]
+	traj = append(traj, from, at)
+	for i := 1; i < w; i++ {
+		from, at = at, r.Step(from, at)
+		traj = append(traj, at)
+	}
+	return traj
+}
+
+// RandomRoute walks a route with a uniformly random first hop — the
+// verifier/suspect behaviour in SybilLimit — and returns its tail.
+func RandomRoute(r Router, start graph.NodeID, w int, rng *rand.Rand) DirectedEdge {
+	d := r.Graph().Degree(start)
+	return Route(r, start, rng.IntN(d), w)
+}

@@ -1,0 +1,111 @@
+package whanau
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mixtime/internal/gen"
+	"mixtime/internal/graph"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 0x3a)) }
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(&graph.Graph{}, Config{W: 5}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	g := gen.Complete(10)
+	if _, err := Build(g, Config{W: 0}); err == nil {
+		t.Fatal("W=0 accepted")
+	}
+}
+
+func TestTableSizes(t *testing.T) {
+	g := gen.Complete(100)
+	d, err := Build(g, Config{W: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: 2·⌈√100⌉ = 20 fingers and successors.
+	if len(d.nodes[0].fingers) != 20 || len(d.nodes[0].successors) != 20 {
+		t.Fatalf("table sizes %d/%d, want 20/20",
+			len(d.nodes[0].fingers), len(d.nodes[0].successors))
+	}
+	// Fingers sorted, successors ring-orderd after id.
+	f := d.nodes[0].fingers
+	for i := 1; i < len(f); i++ {
+		if f[i-1].key > f[i].key {
+			t.Fatal("fingers unsorted")
+		}
+	}
+}
+
+func TestLookupFindsOwnSample(t *testing.T) {
+	// On a fast-mixing graph with ample walks, looking up a random
+	// node's key from a random source succeeds with high probability.
+	g := gen.BarabasiAlbert(400, 6, rng(2))
+	d, err := Build(g, Config{W: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := d.SuccessRate(400, rng(4))
+	if rate < 0.85 {
+		t.Fatalf("success rate %v on fast-mixing graph", rate)
+	}
+	// The owner returned must actually hold the key.
+	for i := 0; i < 50; i++ {
+		tgt := d.KeyOf(graph.NodeID(rng(5).IntN(g.NumNodes())))
+		if owner, _, ok := d.Lookup(0, tgt); ok && d.KeyOf(owner) != tgt {
+			t.Fatal("lookup returned wrong owner")
+		}
+	}
+}
+
+func TestLookupDegradesWithShortWalks(t *testing.T) {
+	// On a slow-mixing caveman graph, w=1 samples stay inside the
+	// local clique, so cross-graph lookups fail far more often than
+	// with long walks — the mixing-time dependence the paper probes.
+	g, _ := graph.LargestComponent(gen.RelaxedCaveman(60, 8, 0.02, rng(6)))
+	short, err := Build(g, Config{W: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Build(g, Config{W: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rShort := short.SuccessRate(300, rng(8))
+	rLong := long.SuccessRate(300, rng(8))
+	if rLong < rShort+0.2 {
+		t.Fatalf("long walks (%v) not clearly better than short (%v)", rLong, rShort)
+	}
+}
+
+func TestLookupDeterministicTables(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 4, rng(9))
+	a, err := Build(g, Config{W: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, Config{W: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.nodes {
+		if a.nodes[v].id != b.nodes[v].id {
+			t.Fatalf("node %d id differs across identical builds", v)
+		}
+	}
+}
+
+func TestQueriesBounded(t *testing.T) {
+	g := gen.Complete(80)
+	d, err := Build(g, Config{W: 2, Fingers: 9, Successors: 9, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, queries, _ := d.Lookup(0, 0xdeadbeef) // random target, likely miss
+	if queries > 9 {
+		t.Fatalf("%d queries with 9 fingers", queries)
+	}
+}

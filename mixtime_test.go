@@ -1,0 +1,133 @@
+package mixtime_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mixtime"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g := mixtime.BarabasiAlbert(500, 4, 1)
+	if !mixtime.IsConnected(g) {
+		t.Fatal("BA graph disconnected")
+	}
+	m, err := mixtime.Measure(g, mixtime.Options{Sources: 40, MaxWalk: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mu() <= 0 || m.Mu() >= 1 {
+		t.Fatalf("µ = %v", m.Mu())
+	}
+	tm, ok := m.SampledMixingTime(0.05)
+	if !ok {
+		t.Fatalf("did not mix to 0.05 in 100 steps (µ=%v)", m.Mu())
+	}
+	if lb := mixtime.MixingLowerBound(m.Mu(), 0.05); float64(tm) < lb-1 {
+		t.Fatalf("measured %d below lower bound %v", tm, lb)
+	}
+	if ub := mixtime.MixingUpperBound(m.Mu(), 0.05, g.NumNodes()); float64(tm) > ub+1 {
+		t.Fatalf("measured %d above upper bound %v", tm, ub)
+	}
+}
+
+func TestFacadeBuilderAndIO(t *testing.T) {
+	b := mixtime.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := mixtime.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mixtime.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 3 {
+		t.Fatalf("round trip m = %d", back.NumEdges())
+	}
+}
+
+func TestFacadeTransforms(t *testing.T) {
+	g := mixtime.ErdosRenyi(300, 0.02, 2)
+	lcc, _ := mixtime.LargestComponent(g)
+	if !mixtime.IsConnected(lcc) {
+		t.Fatal("LCC disconnected")
+	}
+	sample, _ := mixtime.BFSSample(lcc, 0, 50)
+	if sample.NumNodes() != 50 {
+		t.Fatalf("sample n = %d", sample.NumNodes())
+	}
+	core, _ := mixtime.Trim(lcc, 2)
+	if core.NumNodes() > 0 && core.MinDegree() < 2 {
+		t.Fatal("trim violated min degree")
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	if len(mixtime.Datasets()) != 15 {
+		t.Fatal("dataset registry incomplete")
+	}
+	d, err := mixtime.DatasetByName("wiki-vote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Generate(0.05, 1)
+	if g.NumNodes() < 100 {
+		t.Fatalf("substitute n = %d", g.NumNodes())
+	}
+}
+
+func TestFacadeSybilLimit(t *testing.T) {
+	g := mixtime.BarabasiAlbert(300, 5, 3)
+	p, err := mixtime.NewSybilLimit(g, mixtime.SybilLimitConfig{W: 10, R0: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Verify(0, mixtime.AllHonest(g, 0))
+	if res.AcceptRate() < 0.8 {
+		t.Fatalf("accept rate %v", res.AcceptRate())
+	}
+	attack := mixtime.NewSybilAttack(g, mixtime.BarabasiAlbert(60, 3, 4), 4, 5)
+	out, err := mixtime.RunSybilAttack(attack, 0, mixtime.SybilLimitConfig{W: 10, R0: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SybilTotal != 60 {
+		t.Fatalf("sybil total %d", out.SybilTotal)
+	}
+}
+
+func TestFacadeChainAndLazy(t *testing.T) {
+	// Even ring is bipartite: the plain chain is periodic, the lazy
+	// one converges.
+	b := mixtime.NewBuilder(8)
+	for i := 0; i < 8; i++ {
+		b.AddEdge(mixtime.NodeID(i), mixtime.NodeID((i+1)%8))
+	}
+	g := b.Build()
+	if !mixtime.IsBipartite(g) {
+		t.Fatal("even ring not bipartite")
+	}
+	c, err := mixtime.NewChain(g, mixtime.LazyWalk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := c.TraceFrom(0, 300)
+	if tr.DistanceAt(300) > 1e-3 {
+		t.Fatalf("lazy walk TV %v", tr.DistanceAt(300))
+	}
+	tm, ok := mixtime.MixingTime([]*mixtime.Trace{tr}, 0.01)
+	if !ok || tm < 1 {
+		t.Fatalf("MixingTime %d %v", tm, ok)
+	}
+	if d := mixtime.TVDistance([]float64{1, 0}, []float64{0, 1}); d != 1 {
+		t.Fatalf("TVDistance %v", d)
+	}
+	if mixtime.FastMixingWalkLength(1000) != int(math.Ceil(math.Log(1000))) {
+		t.Fatal("yardstick")
+	}
+}
