@@ -1,276 +1,47 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation, plus the ablations DESIGN.md calls out. Each benchmark
-// runs the corresponding experiment driver at a benchmark-friendly
-// scale and reports a few headline numbers as custom metrics, so
+// evaluation, plus the ablations DESIGN.md calls out. The experiment
+// benchmarks iterate the runner registry, so a driver registered in
+// internal/experiments is benchmarked with no further wiring:
 //
-//	go test -bench=. -benchmem
+//	go test -bench=Experiments/F3 -benchmem
 //
 // doubles as the reproduction harness (EXPERIMENTS.md records a full
 // annotated run at larger scale via cmd/paperfigs).
 package mixtime_test
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
 	"mixtime"
-	"mixtime/internal/experiments"
+	_ "mixtime/internal/experiments" // register the paper's artifacts
 	"mixtime/internal/markov"
+	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
 )
 
 // benchCfg keeps the per-iteration cost of the heavier drivers around
 // a second on one core.
-var benchCfg = experiments.Config{
+var benchCfg = runner.Config{
 	Scale:   0.001,
 	Seed:    1,
 	Sources: 50,
 	MaxWalk: 300,
 }
 
-func BenchmarkTable1(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, r := range rows {
-				if r.Name == "livejournal-A" {
-					b.ReportMetric(r.Mu, "µ(livejournal-A)")
-				}
-				if r.Name == "wiki-vote" {
-					b.ReportMetric(r.Mu, "µ(wiki-vote)")
+// BenchmarkExperiments runs every registered artifact (T1, F1–F8,
+// X1–X7) as a sub-benchmark keyed by its DESIGN.md §5 ID.
+func BenchmarkExperiments(b *testing.B) {
+	ctx := context.Background()
+	for _, def := range runner.Default().Defs() {
+		b.Run(def.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := def.Run(ctx, benchCfg, nil); err != nil {
+					b.Fatal(err)
 				}
 			}
-		}
-	}
-}
-
-func BenchmarkFigure1(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		curves, err := experiments.Figure1(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			// Headline: walk length the bound demands for ε=0.1 on the
-			// slowest small dataset.
-			worst := 0.0
-			for _, c := range curves {
-				if t := mixtime.MixingLowerBound(c.Mu, 0.1); t > worst {
-					worst = t
-				}
-			}
-			b.ReportMetric(worst, "maxT(ε=0.1)")
-		}
-	}
-}
-
-func BenchmarkFigure2(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure2(benchCfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkFigure3(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure3(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			// Headline: fraction of sources within ε=0.1 at w=40 on
-			// physics-1 (the paper: far below 1).
-			for _, r := range rows {
-				if r.Dataset == "physics-1" && r.W == 40 {
-					within := 0
-					for _, d := range r.Distances {
-						if d < 0.1 {
-							within++
-						}
-					}
-					b.ReportMetric(float64(within)/float64(len(r.Distances)), "frac<0.1@w40")
-				}
-			}
-		}
-	}
-}
-
-func BenchmarkFigure4(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure4(benchCfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkFigure5(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure5(benchCfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkFigure6(b *testing.B) {
-	cfg := benchCfg
-	cfg.Scale = 0.002 // trim levels need fringe headroom
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure6(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(float64(rows[4].Nodes)/float64(rows[0].Nodes), "size(DBLP5/DBLP1)")
-			b.ReportMetric(rows[0].Mu-rows[4].Mu, "Δµ(trim1→5)")
-		}
-	}
-}
-
-func BenchmarkFigure7(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure7(benchCfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkFigure8(b *testing.B) {
-	cfg := experiments.Fig8Config{Config: benchCfg, Nodes: 500, R0: 3,
-		Walks: []int{1, 2, 4, 8, 16, 24}}
-	for i := 0; i < b.N; i++ {
-		curves, err := experiments.Figure8(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, c := range curves {
-				if c.Dataset == "facebook-A" {
-					b.ReportMetric(c.Accept[len(c.Accept)-1], "fb-accept@w24")
-				}
-				if c.Dataset == "physics-1" {
-					b.ReportMetric(c.Accept[len(c.Accept)-1], "phys1-accept@w24")
-				}
-			}
-		}
-	}
-}
-
-func BenchmarkSybilAttack(b *testing.B) {
-	cfg := experiments.SybilAttackConfig{Config: benchCfg, Nodes: 400,
-		SybilNodes: 100, AttackEdges: 8, R0: 2, Walks: []int{2, 8, 16}}
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.SybilAttack(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(rows[len(rows)-1].EscapesPerEdge, "escapes/g@w16")
-		}
-	}
-}
-
-func BenchmarkConductance(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Conductance(benchCfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkWhanauTails(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Whanau(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, r := range rows {
-				if r.Dataset == "physics-1" && r.W == 80 {
-					b.ReportMetric(r.MeanEdgeTV, "edgeTV(physics-1@w80)")
-				}
-			}
-		}
-	}
-}
-
-func BenchmarkDetection(b *testing.B) {
-	cfg := experiments.DetectionConfig{Config: benchCfg, Nodes: 400,
-		SybilNodes: 80, AttackEdges: 4, Walks: []int{6, 24}}
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Detection(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, r := range rows {
-				if r.Dataset == "physics-1" && r.W == 24 {
-					b.ReportMetric(r.Gap, "gap(physics-1@w24)")
-				}
-				if r.Dataset == "facebook-A" && r.W == 24 {
-					b.ReportMetric(r.Gap, "gap(facebook-A@w24)")
-				}
-			}
-		}
-	}
-}
-
-func BenchmarkTrustModels(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.TrustModels(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, r := range rows {
-				if r.Dataset == "physics-1" {
-					b.ReportMetric(r.MuJaccard-r.MuUniform, "Δµ(jaccard)")
-				}
-			}
-		}
-	}
-}
-
-func BenchmarkDefenseComparison(b *testing.B) {
-	cfg := experiments.DefenseComparisonConfig{Config: benchCfg, Nodes: 300,
-		SybilNodes: 60, AttackEdges: 2, W: 10, Datasets: []string{"facebook-A"}}
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.DefenseComparison(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, r := range rows {
-				if r.Defense == "ppr" {
-					b.ReportMetric(r.AUC, "AUC(ppr)")
-				}
-				if r.Defense == "community" {
-					b.ReportMetric(r.AUC, "AUC(community)")
-				}
-			}
-		}
-	}
-}
-
-func BenchmarkWhanauLookup(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.WhanauLookup(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, r := range rows {
-				if r.Dataset == "physics-1" && r.W == 64 {
-					b.ReportMetric(r.Success, "success(physics-1@w64)")
-				}
-				if r.Dataset == "physics-1" && r.W == 8 {
-					b.ReportMetric(r.Success, "success(physics-1@w8)")
-				}
-			}
-		}
+		})
 	}
 }
 

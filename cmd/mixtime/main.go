@@ -18,11 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"mixtime"
 	"mixtime/internal/cliutil"
@@ -32,14 +35,18 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// Interrupts cancel the context; the spectral iterations and trace
+	// sampling behind slem/measure check it and abort promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	case "slem":
-		err = cmdSLEM(os.Args[2:])
+		err = cmdSLEM(ctx, os.Args[2:])
 	case "measure":
-		err = cmdMeasure(os.Args[2:])
+		err = cmdMeasure(ctx, os.Args[2:])
 	case "trim":
 		err = cmdTrim(os.Args[2:])
 	case "sample":
@@ -108,7 +115,7 @@ func cmdInfo(args []string) error {
 	return nil
 }
 
-func cmdSLEM(args []string) error {
+func cmdSLEM(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("slem", flag.ExitOnError)
 	method := fs.String("method", "lanczos", "lanczos or power")
 	tol := fs.Float64("tol", 1e-8, "eigenvalue tolerance")
@@ -128,9 +135,9 @@ func cmdSLEM(args []string) error {
 	var est *mixtime.SpectralEstimate
 	switch *method {
 	case "lanczos":
-		est, err = mixtime.SLEM(lcc, opt)
+		est, err = mixtime.SLEMContext(ctx, lcc, opt)
 	case "power":
-		est, err = mixtime.SLEMPower(lcc, opt)
+		est, err = mixtime.SLEMPowerContext(ctx, lcc, opt)
 	default:
 		return fmt.Errorf("unknown method %q", *method)
 	}
@@ -147,7 +154,7 @@ func cmdSLEM(args []string) error {
 	return nil
 }
 
-func cmdMeasure(args []string) error {
+func cmdMeasure(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("measure", flag.ExitOnError)
 	sources := fs.Int("sources", 100, "number of sampled start vertices")
 	maxWalk := fs.Int("maxwalk", 200, "maximum propagated walk length")
@@ -164,7 +171,7 @@ func cmdMeasure(args []string) error {
 	if err != nil {
 		return err
 	}
-	m, err := mixtime.Measure(g, mixtime.Options{
+	m, err := mixtime.MeasureContext(ctx, g, mixtime.Options{
 		Sources: *sources, MaxWalk: *maxWalk, Seed: *seed,
 	})
 	if err != nil {

@@ -1,256 +1,168 @@
 // Command paperfigs regenerates every table and figure of the
 // paper's evaluation at a configurable scale, rendering them as text
-// tables and ASCII charts and, with -csv, writing the raw data as CSV
-// files for external plotting.
+// tables and ASCII charts and, with -csv/-json, writing the raw data
+// for external plotting.
+//
+// It is a thin shell over internal/runner: every artifact registers
+// there under its DESIGN.md §5 ID, and the runner schedules the
+// requested subset across a worker pool. Experiments derive all
+// randomness from -seed, so `-jobs 4` renders byte-identical output
+// to `-jobs 1`. Artifact text goes to stdout; progress and the run
+// summary go to stderr.
 //
 // Usage:
 //
 //	paperfigs                        # everything at the default scale
-//	paperfigs -only table1,fig8      # a subset
-//	paperfigs -csv out/              # also write out/<artifact>.csv
+//	paperfigs -only T1,F8            # a subset (IDs or legacy names)
+//	paperfigs -only table1,fig8      # same subset, legacy names
+//	paperfigs -jobs 4                # schedule across 4 workers
+//	paperfigs -timeout 2m            # cancel everything at the deadline
+//	paperfigs -csv out/ -json out/   # also write out/<id>.{csv,json}
 //	paperfigs -scale 0.01 -sources 1000 -seed 7
 //
-// Artifact names: table1, fig1, fig2, fig3, fig4, fig5, fig6, fig7,
-// fig8, attack, conductance, whanau, trust, detection, defenses,
-// whanau-lookup.
+// IDs: T1, F1–F8, X1–X7. Legacy names: table1, fig1..fig8, attack,
+// conductance, whanau, trust, detection, defenses, whanau-lookup.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
-	"time"
+	"syscall"
 
 	"mixtime/internal/experiments"
+	"mixtime/internal/runner"
 )
-
-// result couples an artifact's rendered text with its CSV emitter.
-type result struct {
-	text string
-	csv  func(io.Writer) error
-}
 
 func main() {
 	scale := flag.Float64("scale", 0.005, "dataset scale factor")
-	sources := flag.Int("sources", 200, "sampled sources per graph")
-	maxWalk := flag.Int("maxwalk", 500, "maximum propagated walk length")
-	seed := flag.Uint64("seed", 1, "random seed")
-	only := flag.String("only", "", "comma-separated artifact subset")
-	csvDir := flag.String("csv", "", "directory to write <artifact>.csv files")
+	sources := flag.Int("sources", runner.DefaultSources, "sampled sources per graph")
+	maxWalk := flag.Int("maxwalk", runner.DefaultMaxWalk, "maximum propagated walk length")
+	seed := flag.Uint64("seed", runner.DefaultSeed, "random seed")
+	only := flag.String("only", "", "comma-separated subset (IDs like T1,F3 or legacy names)")
+	jobs := flag.Int("jobs", 1, "experiments to run in parallel (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
+	csvDir := flag.String("csv", "", "directory to write <id>.csv files")
+	jsonDir := flag.String("json", "", "directory to write <id>.json files")
+	quiet := flag.Bool("q", false, "suppress per-event progress on stderr")
+	listOnly := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
 
-	cfg := experiments.Config{
-		Scale:   *scale,
-		Sources: *sources,
-		MaxWalk: *maxWalk,
-		Seed:    *seed,
+	if *listOnly {
+		for _, d := range runner.Default().Defs() {
+			fmt.Printf("%-4s %-14s %s\n", d.ID, d.Name, d.Title)
+		}
+		return
 	}
-	want := map[string]bool{}
+
+	cfg := experiments.Config{
+		Scale:       *scale,
+		Sources:     *sources,
+		MaxWalk:     *maxWalk,
+		Seed:        *seed,
+		SpectralTol: runner.DefaultSpectralTol,
+	}
+	var keys []string
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(name)] = true
+			if name = strings.TrimSpace(name); name != "" {
+				keys = append(keys, name)
+			}
 		}
 	}
-	selected := func(name string) bool { return len(want) == 0 || want[name] }
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "paperfigs:", err)
-			os.Exit(1)
-		}
-	}
-
-	type artifact struct {
-		name string
-		run  func() (result, error)
-	}
-	artifacts := []artifact{
-		{"table1", func() (result, error) {
-			rows, err := experiments.Table1(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderTable1(rows),
-				func(w io.Writer) error { return experiments.Table1CSV(w, rows) }}, nil
-		}},
-		{"fig1", func() (result, error) {
-			curves, err := experiments.Figure1(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderBoundCurves("Figure 1: lower bound of the mixing time — small datasets", curves),
-				func(w io.Writer) error { return experiments.BoundCurvesCSV(w, curves) }}, nil
-		}},
-		{"fig2", func() (result, error) {
-			curves, err := experiments.Figure2(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderBoundCurves("Figure 2: lower bound of the mixing time — large datasets", curves),
-				func(w io.Writer) error { return experiments.BoundCurvesCSV(w, curves) }}, nil
-		}},
-		{"fig3", func() (result, error) {
-			rows, err := experiments.Figure3(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			return result{renderCDFGroups("Figure 3", rows, []string{"physics-1", "physics-2", "physics-3"}),
-				func(w io.Writer) error { return experiments.DistanceCDFsCSV(w, rows) }}, nil
-		}},
-		{"fig4", func() (result, error) {
-			rows, err := experiments.Figure4(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			return result{renderCDFGroups("Figure 4", rows, []string{"physics-2", "physics-3"}),
-				func(w io.Writer) error { return experiments.DistanceCDFsCSV(w, rows) }}, nil
-		}},
-		{"fig5", func() (result, error) {
-			curves, err := experiments.Figure5(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			var b strings.Builder
-			for _, c := range curves {
-				b.WriteString(experiments.RenderFig5(c))
-				b.WriteByte('\n')
-			}
-			return result{b.String(),
-				func(w io.Writer) error { return experiments.Fig5CSV(w, curves) }}, nil
-		}},
-		{"fig6", func() (result, error) {
-			rows, err := experiments.Figure6(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderFig6(rows),
-				func(w io.Writer) error { return experiments.Fig6CSV(w, rows) }}, nil
-		}},
-		{"fig7", func() (result, error) {
-			panels, err := experiments.Figure7(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			var b strings.Builder
-			for _, p := range panels {
-				b.WriteString(experiments.RenderFig7Panel(p))
-				b.WriteByte('\n')
-			}
-			return result{b.String(),
-				func(w io.Writer) error { return experiments.Fig7CSV(w, panels) }}, nil
-		}},
-		{"fig8", func() (result, error) {
-			curves, err := experiments.Figure8(experiments.Fig8Config{Config: cfg})
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderFig8(curves),
-				func(w io.Writer) error { return experiments.Fig8CSV(w, curves) }}, nil
-		}},
-		{"attack", func() (result, error) {
-			rows, err := experiments.SybilAttack(experiments.SybilAttackConfig{Config: cfg})
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderSybilAttack(rows),
-				func(w io.Writer) error { return experiments.SybilAttackCSV(w, rows) }}, nil
-		}},
-		{"conductance", func() (result, error) {
-			rows, err := experiments.Conductance(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderConductance(rows),
-				func(w io.Writer) error { return experiments.ConductanceCSV(w, rows) }}, nil
-		}},
-		{"whanau", func() (result, error) {
-			rows, err := experiments.Whanau(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderWhanau(rows),
-				func(w io.Writer) error { return experiments.WhanauCSV(w, rows) }}, nil
-		}},
-		{"trust", func() (result, error) {
-			rows, err := experiments.TrustModels(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderTrust(rows),
-				func(w io.Writer) error { return experiments.TrustCSV(w, rows) }}, nil
-		}},
-		{"detection", func() (result, error) {
-			rows, err := experiments.Detection(experiments.DetectionConfig{Config: cfg})
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderDetection(rows),
-				func(w io.Writer) error { return experiments.DetectionCSV(w, rows) }}, nil
-		}},
-		{"defenses", func() (result, error) {
-			rows, err := experiments.DefenseComparison(experiments.DefenseComparisonConfig{Config: cfg})
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderDefenseComparison(rows),
-				func(w io.Writer) error { return experiments.DefenseComparisonCSV(w, rows) }}, nil
-		}},
-		{"whanau-lookup", func() (result, error) {
-			rows, err := experiments.WhanauLookup(cfg)
-			if err != nil {
-				return result{}, err
-			}
-			return result{experiments.RenderWhanauLookup(rows),
-				func(w io.Writer) error { return experiments.WhanauLookupCSV(w, rows) }}, nil
-		}},
-	}
-
-	fmt.Printf("# paperfigs: scale=%v sources=%d maxwalk=%d seed=%d\n\n",
-		cfg.Scale, cfg.Sources, cfg.MaxWalk, cfg.Seed)
-	for _, a := range artifacts {
-		if !selected(a.name) {
-			continue
-		}
-		start := time.Now()
-		res, err := a.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", a.name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("== %s (%.1fs) ==\n%s\n", a.name, time.Since(start).Seconds(), res.text)
-		if *csvDir != "" && res.csv != nil {
-			path := filepath.Join(*csvDir, a.name+".csv")
-			f, err := os.Create(path)
-			if err == nil {
-				err = res.csv(f)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "paperfigs: %s: csv: %v\n", a.name, err)
+	for _, dir := range []string{*csvDir, *jsonDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs:", err)
 				os.Exit(1)
 			}
 		}
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var obs runner.Observer
+	if !*quiet {
+		obs = runner.ObserverFunc(func(e runner.Event) {
+			switch e.Kind {
+			case runner.KindExperimentStarted:
+				fmt.Fprintf(os.Stderr, "paperfigs: %s started\n", e.Experiment)
+			case runner.KindExperimentFinished:
+				status := "done"
+				if e.Err != nil {
+					status = "error: " + e.Err.Error()
+				}
+				fmt.Fprintf(os.Stderr, "paperfigs: %s %s (%.1fs)\n",
+					e.Experiment, status, e.Elapsed.Seconds())
+			case runner.KindDatasetDone:
+				fmt.Fprintf(os.Stderr, "paperfigs: %s: %s %d/%d\n",
+					e.Experiment, e.Dataset, e.Done, e.Total)
+			}
+		})
+	}
+
+	r := &runner.Runner{Jobs: *jobs, Observer: obs}
+	report, runErr := r.Run(ctx, cfg, keys...)
+	if report == nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", runErr)
+		os.Exit(1)
+	}
+
+	// Render in request order regardless of completion order — with
+	// per-experiment seeding this output is byte-identical for any
+	// -jobs value.
+	fmt.Printf("# paperfigs: scale=%v sources=%d maxwalk=%d seed=%d\n\n",
+		cfg.Scale, cfg.Sources, cfg.MaxWalk, cfg.Seed)
+	failed := false
+	for _, e := range report.Experiments {
+		if e.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", e.ID, e.Err)
+			continue
+		}
+		fmt.Printf("== %s (%s) ==\n%s\n", e.ID, e.Name, e.Result.Render())
+		if err := writeArtifact(*csvDir, e.ID, ".csv", e.Result.CSV); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s: csv: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := writeArtifact(*jsonDir, e.ID, ".json", e.Result.JSON); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s: json: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprint(os.Stderr, report.Summary())
+	if runErr != nil || failed {
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", runErr)
+		}
+		os.Exit(1)
+	}
 }
 
-// renderCDFGroups draws one chart per dataset from a long-form CDF
-// row set.
-func renderCDFGroups(figure string, rows []experiments.DistanceCDF, order []string) string {
-	var b strings.Builder
-	for _, ds := range order {
-		var sub []experiments.DistanceCDF
-		for _, r := range rows {
-			if r.Dataset == ds {
-				sub = append(sub, r)
-			}
-		}
-		b.WriteString(experiments.RenderDistanceCDFs(
-			fmt.Sprintf("%s (%s): CDF of variation distance", figure, ds), sub))
-		b.WriteByte('\n')
+// writeArtifact writes one artifact file when dir is set.
+func writeArtifact(dir, id, ext string, emit func(w io.Writer) error) error {
+	if dir == "" {
+		return nil
 	}
-	return b.String()
+	path := filepath.Join(dir, id+ext)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = emit(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

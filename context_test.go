@@ -1,0 +1,44 @@
+package mixtime_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mixtime"
+)
+
+// TestFacadeContextCancellation checks that the context-aware facade
+// entry points abort promptly on an already-cancelled context and
+// surface an error wrapping ctx.Err().
+func TestFacadeContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := mixtime.BarabasiAlbert(300, 3, 1)
+
+	if _, err := mixtime.MeasureContext(ctx, g, mixtime.Options{Sources: 10, MaxWalk: 50}); !errors.Is(err, context.Canceled) {
+		t.Errorf("MeasureContext err = %v, want wrap of context.Canceled", err)
+	}
+	if _, err := mixtime.SLEMContext(ctx, g, mixtime.SpectralOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SLEMContext err = %v, want wrap of context.Canceled", err)
+	}
+	if _, err := mixtime.SLEMPowerContext(ctx, g, mixtime.SpectralOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SLEMPowerContext err = %v, want wrap of context.Canceled", err)
+	}
+
+	// A live context behaves exactly like the plain entry points.
+	m, err := mixtime.MeasureContext(context.Background(), g, mixtime.Options{Sources: 5, MaxWalk: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Traces) != 5 {
+		t.Fatalf("%d traces", len(m.Traces))
+	}
+}
+
+func TestFacadeDefaultOptions(t *testing.T) {
+	o := mixtime.DefaultOptions()
+	if o.Sources != 200 || o.MaxWalk != 500 || o.SpectralTol != 1e-7 || o.Seed != 1 {
+		t.Fatalf("DefaultOptions() = %+v, want the documented canonical values", o)
+	}
+}

@@ -9,28 +9,37 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 
 	"mixtime/internal/graph"
 	"mixtime/internal/markov"
+	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
 )
 
-// Options configures a measurement.
+// Options configures a measurement. The numeric defaults are the
+// project-wide canonical values from internal/runner (Sources 200,
+// MaxWalk 500, SpectralTol 1e-7) so that core measurements and the
+// experiment drivers agree on what an unset field means.
 type Options struct {
 	// Sources is the number of sampled start vertices for the direct
-	// measurement (default 100; the paper uses 1000 on large graphs
-	// and every vertex on small ones). Sources ≥ n measures from
-	// every vertex (the brute-force mode of Figures 3–5).
+	// measurement (default runner.DefaultSources; the paper uses 1000
+	// on large graphs and every vertex on small ones). Sources ≥ n
+	// measures from every vertex (the brute-force mode of Figures 3–5).
 	Sources int
 	// MaxWalk caps the propagated walk length per source
-	// (default 200).
+	// (default runner.DefaultMaxWalk).
 	MaxWalk int
-	// SpectralTol is the SLEM tolerance (default 1e-8).
+	// SpectralTol is the SLEM tolerance
+	// (default runner.DefaultSpectralTol).
 	SpectralTol float64
-	// Seed drives source sampling and the spectral start vector.
+	// Seed drives source sampling and the spectral start vector. Zero
+	// is a usable seed, not a sentinel: Measure never rewrites it.
+	// Callers that want the project default should start from
+	// DefaultOptions.
 	Seed uint64
 	// SkipSampling disables the direct measurement (SLEM only).
 	SkipSampling bool
@@ -42,21 +51,36 @@ type Options struct {
 	// Workers sets the trace-propagation parallelism (0 = GOMAXPROCS,
 	// 1 = sequential).
 	Workers int
+	// Progress, if non-nil, is called as long stages advance: stage is
+	// "spectral" (done = operator iterations so far, total = 0) or
+	// "sampling" (done of total sources traced). Calls are serialized.
+	Progress func(stage string, done, total int)
+}
+
+// DefaultOptions returns the canonical measurement options, including
+// the default Seed. This constructor is the only place the default
+// seed is applied; a zero Seed set explicitly on Options stays zero.
+func DefaultOptions() Options {
+	return Options{
+		Sources:     runner.DefaultSources,
+		MaxWalk:     runner.DefaultMaxWalk,
+		SpectralTol: runner.DefaultSpectralTol,
+		Seed:        runner.DefaultSeed,
+	}
 }
 
 func (o Options) withDefaults() Options {
 	if o.Sources <= 0 {
-		o.Sources = 100
+		o.Sources = runner.DefaultSources
 	}
 	if o.MaxWalk <= 0 {
-		o.MaxWalk = 200
+		o.MaxWalk = runner.DefaultMaxWalk
 	}
 	if o.SpectralTol <= 0 {
-		o.SpectralTol = 1e-8
+		o.SpectralTol = runner.DefaultSpectralTol
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
+	// Seed is deliberately not defaulted here: 0 is a valid PCG seed
+	// and rewriting it would make the zero seed unusable.
 	return o
 }
 
@@ -81,6 +105,14 @@ type Measurement struct {
 
 // Measure runs the full methodology on g.
 func Measure(g *graph.Graph, opt Options) (*Measurement, error) {
+	return MeasureContext(context.Background(), g, opt)
+}
+
+// MeasureContext is Measure with cancellation: ctx is threaded into
+// the SLEM iteration and every trace propagation, so a cancelled or
+// expired context aborts the measurement promptly with an error
+// wrapping ctx.Err().
+func MeasureContext(ctx context.Context, g *graph.Graph, opt Options) (*Measurement, error) {
 	opt = opt.withDefaults()
 	if g.NumNodes() == 0 {
 		return nil, errors.New("core: empty graph")
@@ -108,9 +140,12 @@ func Measure(g *graph.Graph, opt Options) (*Measurement, error) {
 	m.Chain = chain
 
 	if !opt.SkipSpectral {
-		est, err := spectral.SLEM(component, spectral.Options{Tol: opt.SpectralTol, Seed: opt.Seed})
+		est, err := spectral.SLEMContext(ctx, component, spectral.Options{Tol: opt.SpectralTol, Seed: opt.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
+		}
+		if opt.Progress != nil {
+			opt.Progress("spectral", est.Iterations, 0)
 		}
 		if m.Bipartite {
 			// The measured chain is lazy; its SLEM is (1+λ₂)/2 and its
@@ -129,7 +164,15 @@ func Measure(g *graph.Graph, opt Options) (*Measurement, error) {
 	if !opt.SkipSampling {
 		rng := rand.New(rand.NewPCG(opt.Seed, 0xc0fe))
 		m.Sources = markov.SampleSources(component, opt.Sources, rng)
-		m.Traces = chain.TraceSampleParallel(m.Sources, opt.MaxWalk, opt.Workers)
+		var onTrace func(done, total int)
+		if opt.Progress != nil {
+			onTrace = func(done, total int) { opt.Progress("sampling", done, total) }
+		}
+		traces, err := chain.TraceSampleParallelContext(ctx, m.Sources, opt.MaxWalk, opt.Workers, onTrace)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		m.Traces = traces
 	}
 	return m, nil
 }

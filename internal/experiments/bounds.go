@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mixtime/internal/datasets"
+	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
 	"mixtime/internal/textplot"
 )
@@ -19,14 +21,18 @@ type BoundCurve struct {
 }
 
 // boundCurves measures the given datasets and derives their bound
-// curves.
-func boundCurves(ds []datasets.Dataset, cfg Config) ([]BoundCurve, error) {
-	cfg = cfg.withDefaults()
+// curves, checking ctx between datasets and reporting each finished
+// one to obs.
+func boundCurves(ctx context.Context, ds []datasets.Dataset, cfg Config, obs runner.Observer) ([]BoundCurve, error) {
+	cfg = cfg.WithDefaults()
 	grid := epsGrid()
 	var out []BoundCurve
-	for _, d := range ds {
+	for i, d := range ds {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: bound curves cancelled before %s: %w", d.Name, err)
+		}
 		g := d.Generate(cfg.Scale, cfg.Seed)
-		est, err := spectral.SLEM(g, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
+		est, err := spectral.SLEMContext(ctx, g, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
 		}
@@ -35,6 +41,8 @@ func boundCurves(ds []datasets.Dataset, cfg Config) ([]BoundCurve, error) {
 			c.T[i] = spectral.MixingLowerBound(est.Mu, eps)
 		}
 		out = append(out, c)
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone, Dataset: d.Name,
+			Stage: "spectral", Done: i + 1, Total: len(ds), Iterations: est.Iterations})
 	}
 	return out, nil
 }
@@ -43,13 +51,23 @@ func boundCurves(ds []datasets.Dataset, cfg Config) ([]BoundCurve, error) {
 // datasets (wiki-vote, Slashdot 1/2, Facebook, Physics 1–3, Enron,
 // Epinion).
 func Figure1(cfg Config) ([]BoundCurve, error) {
-	return boundCurves(datasets.Small(), cfg)
+	return Figure1Context(context.Background(), cfg, nil)
+}
+
+// Figure1Context is Figure1 with cancellation and progress.
+func Figure1Context(ctx context.Context, cfg Config, obs runner.Observer) ([]BoundCurve, error) {
+	return boundCurves(ctx, datasets.Small(), cfg, obs)
 }
 
 // Figure2 computes the curves for the large datasets (DBLP,
 // Facebook A/B, Livejournal A/B, Youtube).
 func Figure2(cfg Config) ([]BoundCurve, error) {
-	return boundCurves(datasets.Large(), cfg)
+	return Figure2Context(context.Background(), cfg, nil)
+}
+
+// Figure2Context is Figure2 with cancellation and progress.
+func Figure2Context(ctx context.Context, cfg Config, obs runner.Observer) ([]BoundCurve, error) {
+	return boundCurves(ctx, datasets.Large(), cfg, obs)
 }
 
 // RenderBoundCurves draws the curves as an ASCII chart, ε (log)

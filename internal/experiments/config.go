@@ -3,47 +3,24 @@
 // renders and bench_test.go wraps as benchmarks. Every driver accepts
 // the same Config so the whole evaluation scales from a quick smoke
 // run to (hardware permitting) the paper's full sizes.
+//
+// Each artifact also registers (in registry.go) into the
+// internal/runner registry under its DESIGN.md §5 ID behind the
+// uniform Run(ctx, cfg, obs) contract; cmd/paperfigs schedules the
+// registered experiments instead of calling the drivers directly.
 package experiments
 
-import "math"
+import (
+	"math"
 
-// Config scales and seeds an experiment run.
-type Config struct {
-	// Scale multiplies every dataset's node count (default 0.01: the
-	// million-node graphs become 10k — the paper's measurements used
-	// a cluster; see EXPERIMENTS.md for the recorded scale per run).
-	Scale float64
-	// Seed makes runs deterministic (default 1).
-	Seed uint64
-	// Sources is the number of start vertices for direct
-	// measurements (default 200; the paper uses 1000 on large graphs
-	// and all vertices on the physics graphs).
-	Sources int
-	// MaxWalk caps propagated walk lengths (default 500, the paper's
-	// longest probe).
-	MaxWalk int
-	// SpectralTol is the SLEM tolerance (default 1e-7).
-	SpectralTol float64
-}
+	"mixtime/internal/runner"
+)
 
-func (c Config) withDefaults() Config {
-	if c.Scale <= 0 {
-		c.Scale = 0.01
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
-	if c.Sources <= 0 {
-		c.Sources = 200
-	}
-	if c.MaxWalk <= 0 {
-		c.MaxWalk = 500
-	}
-	if c.SpectralTol <= 0 {
-		c.SpectralTol = 1e-7
-	}
-	return c
-}
+// Config scales and seeds an experiment run. It is an alias for
+// runner.Config — the canonical definition lives there so the runner,
+// the drivers and core share one set of defaults (see
+// runner.DefaultScale and friends).
+type Config = runner.Config
 
 // epsGrid is the variation-distance grid the bound figures sweep,
 // from 0.25 down to 1e-4 (the paper's axes).

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"mixtime/internal/datasets"
 	"mixtime/internal/gen"
 	"mixtime/internal/graph"
+	"mixtime/internal/runner"
 	"mixtime/internal/sybil"
 	"mixtime/internal/textplot"
 	"mixtime/internal/whanau"
@@ -87,7 +89,7 @@ type DefenseComparisonConfig struct {
 }
 
 func (c DefenseComparisonConfig) withDefaults() DefenseComparisonConfig {
-	c.Config = c.Config.withDefaults()
+	c.Config = c.Config.WithDefaults()
 	if c.Nodes <= 0 {
 		c.Nodes = 500
 	}
@@ -115,9 +117,19 @@ func (c DefenseComparisonConfig) withDefaults() DefenseComparisonConfig {
 // defenses are community detectors at heart; the AUC table makes the
 // equivalence measurable.
 func DefenseComparison(cfg DefenseComparisonConfig) ([]DefenseRow, error) {
+	return DefenseComparisonContext(context.Background(), cfg, nil)
+}
+
+// DefenseComparisonContext is DefenseComparison with cancellation and
+// progress: ctx is checked per dataset and each finished dataset
+// reports as a KindDatasetDone.
+func DefenseComparisonContext(ctx context.Context, cfg DefenseComparisonConfig, obs runner.Observer) ([]DefenseRow, error) {
 	cfg = cfg.withDefaults()
 	var rows []DefenseRow
-	for _, name := range cfg.Datasets {
+	for di, name := range cfg.Datasets {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: defense comparison cancelled before %s: %w", name, err)
+		}
 		d, err := datasets.ByName(name)
 		if err != nil {
 			return nil, err
@@ -196,6 +208,8 @@ func DefenseComparison(cfg DefenseComparisonConfig) ([]DefenseRow, error) {
 			}
 		}
 		add("community", cScore)
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone, Dataset: name,
+			Done: di + 1, Total: len(cfg.Datasets)})
 	}
 	return rows, nil
 }
@@ -229,10 +243,16 @@ type WhanauRow2 struct {
 // Whānau needs walks at the (real) mixing time, not at the assumed
 // O(log n).
 func WhanauLookup(cfg Config) ([]WhanauRow2, error) {
-	cfg = cfg.withDefaults()
+	return WhanauLookupContext(context.Background(), cfg, nil)
+}
+
+// WhanauLookupContext is WhanauLookup with cancellation and progress.
+func WhanauLookupContext(ctx context.Context, cfg Config, obs runner.Observer) ([]WhanauRow2, error) {
+	cfg = cfg.WithDefaults()
 	walks := []int{1, 2, 4, 8, 16, 32, 64}
+	names := []string{"facebook-A", "physics-1"}
 	var rows []WhanauRow2
-	for _, name := range []string{"facebook-A", "physics-1"} {
+	for di, name := range names {
 		d, err := datasets.ByName(name)
 		if err != nil {
 			return nil, err
@@ -244,6 +264,9 @@ func WhanauLookup(cfg Config) ([]WhanauRow2, error) {
 			g, _ = graph.LargestComponent(sub)
 		}
 		for _, w := range walks {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiments: whanau lookup cancelled at %s w=%d: %w", name, w, err)
+			}
 			dht, err := whanau.Build(g, whanau.Config{W: w, Seed: cfg.Seed})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: whanau %s w=%d: %w", name, w, err)
@@ -255,6 +278,8 @@ func WhanauLookup(cfg Config) ([]WhanauRow2, error) {
 				Success: dht.SuccessRate(400, rng),
 			})
 		}
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone, Dataset: name,
+			Done: di + 1, Total: len(names)})
 	}
 	return rows, nil
 }

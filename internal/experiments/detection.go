@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -8,6 +9,7 @@ import (
 	"mixtime/internal/datasets"
 	"mixtime/internal/gen"
 	"mixtime/internal/graph"
+	"mixtime/internal/runner"
 	"mixtime/internal/sybil"
 	"mixtime/internal/textplot"
 )
@@ -46,7 +48,7 @@ type DetectionConfig struct {
 }
 
 func (c DetectionConfig) withDefaults() DetectionConfig {
-	c.Config = c.Config.withDefaults()
+	c.Config = c.Config.WithDefaults()
 	if c.Nodes <= 0 {
 		c.Nodes = 600
 	}
@@ -68,9 +70,16 @@ func (c DetectionConfig) withDefaults() DetectionConfig {
 // slow trust graph is far weaker than on the fast online graph, and
 // it recovers only as the walks approach the real mixing time.
 func Detection(cfg DetectionConfig) ([]DetectionRow, error) {
+	return DetectionContext(context.Background(), cfg, nil)
+}
+
+// DetectionContext is Detection with cancellation and progress: ctx
+// is checked per (dataset, walk length) and each finished dataset
+// reports as a KindDatasetDone.
+func DetectionContext(ctx context.Context, cfg DetectionConfig, obs runner.Observer) ([]DetectionRow, error) {
 	cfg = cfg.withDefaults()
 	var rows []DetectionRow
-	for _, name := range cfg.Datasets {
+	for di, name := range cfg.Datasets {
 		d, err := datasets.ByName(name)
 		if err != nil {
 			return nil, err
@@ -91,6 +100,9 @@ func Detection(cfg DetectionConfig) ([]DetectionRow, error) {
 			walks = []int{base, 2 * base, 4 * base, 8 * base}
 		}
 		for _, w := range walks {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiments: detection cancelled at %s w=%d: %w", name, w, err)
+			}
 			res, err := sybil.SybilInfer(attack.Combined, sybil.InferConfig{
 				WalksPerNode: 15,
 				W:            w,
@@ -123,6 +135,8 @@ func Detection(cfg DetectionConfig) ([]DetectionRow, error) {
 			row.Gap = row.HonestMean - row.SybilMean
 			rows = append(rows, row)
 		}
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone, Dataset: name,
+			Done: di + 1, Total: len(cfg.Datasets)})
 	}
 	return rows, nil
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	"mixtime/internal/datasets"
 	"mixtime/internal/gen"
 	"mixtime/internal/graph"
+	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
 	"mixtime/internal/sybil"
 	"mixtime/internal/textplot"
@@ -43,7 +45,7 @@ type SybilAttackConfig struct {
 }
 
 func (c SybilAttackConfig) withDefaults() SybilAttackConfig {
-	c.Config = c.Config.withDefaults()
+	c.Config = c.Config.WithDefaults()
 	if c.Dataset == "" {
 		c.Dataset = "facebook-A"
 	}
@@ -70,6 +72,13 @@ func (c SybilAttackConfig) withDefaults() SybilAttackConfig {
 // paper's discussion derives (accepted sybils ≈ t·g as long as
 // g < n/w).
 func SybilAttack(cfg SybilAttackConfig) ([]SybilAttackRow, error) {
+	return SybilAttackContext(context.Background(), cfg, nil)
+}
+
+// SybilAttackContext is SybilAttack with cancellation and progress:
+// ctx is checked per walk length and each finished walk length
+// reports as a KindStageProgress.
+func SybilAttackContext(ctx context.Context, cfg SybilAttackConfig, obs runner.Observer) ([]SybilAttackRow, error) {
 	cfg = cfg.withDefaults()
 	d, err := datasets.ByName(cfg.Dataset)
 	if err != nil {
@@ -86,11 +95,16 @@ func SybilAttack(cfg SybilAttackConfig) ([]SybilAttackRow, error) {
 	attack := sybil.NewAttack(honest, sybilRegion, cfg.AttackEdges, rng)
 
 	var rows []SybilAttackRow
-	for _, w := range cfg.Walks {
+	for i, w := range cfg.Walks {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: attack cancelled at w=%d: %w", w, err)
+		}
 		out, err := sybil.RunAttack(attack, 0, sybil.Config{W: w, R0: cfg.R0, Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: attack w=%d: %w", w, err)
 		}
+		runner.Emit(obs, runner.Event{Kind: runner.KindStageProgress, Dataset: cfg.Dataset,
+			Stage: "walks", Done: i + 1, Total: len(cfg.Walks)})
 		rows = append(rows, SybilAttackRow{
 			W:              w,
 			HonestRate:     float64(out.HonestAccepted) / float64(out.HonestTotal),
@@ -137,11 +151,20 @@ type ConductanceRow struct {
 // Conductance runs the community-structure extension over the small
 // datasets.
 func Conductance(cfg Config) ([]ConductanceRow, error) {
-	cfg = cfg.withDefaults()
+	return ConductanceContext(context.Background(), cfg, nil)
+}
+
+// ConductanceContext is Conductance with cancellation and progress.
+func ConductanceContext(ctx context.Context, cfg Config, obs runner.Observer) ([]ConductanceRow, error) {
+	cfg = cfg.WithDefaults()
+	small := datasets.Small()
 	var rows []ConductanceRow
-	for _, d := range datasets.Small() {
+	for i, d := range small {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: conductance cancelled before %s: %w", d.Name, err)
+		}
 		g := d.Generate(cfg.Scale, cfg.Seed)
-		cut, est, err := spectral.SweepConductance(g, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
+		cut, est, err := spectral.SweepConductanceContext(ctx, g, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
 		}
@@ -154,6 +177,8 @@ func Conductance(cfg Config) ([]ConductanceRow, error) {
 			SweepPhi:   cut.Conductance,
 			SweepNodes: cut.Size,
 		})
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone, Dataset: d.Name,
+			Done: i + 1, Total: len(small), Iterations: est.Iterations})
 	}
 	return rows, nil
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	"mixtime/internal/datasets"
 	"mixtime/internal/graph"
 	"mixtime/internal/markov"
+	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
 	"mixtime/internal/textplot"
 )
@@ -35,7 +37,14 @@ type Fig6Row struct {
 // but DBLP 5 keeps only ~24% of DBLP 1's nodes — utility traded for
 // speed.
 func Figure6(cfg Config) ([]Fig6Row, error) {
-	cfg = cfg.withDefaults()
+	return Figure6Context(context.Background(), cfg, nil)
+}
+
+// Figure6Context is Figure6 with cancellation and progress: ctx is
+// checked between trim levels (and inside each level's SLEM and trace
+// propagation), and each finished level reports as a KindDatasetDone.
+func Figure6Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Fig6Row, error) {
+	cfg = cfg.WithDefaults()
 	d, err := datasets.ByName("dblp")
 	if err != nil {
 		return nil, err
@@ -46,13 +55,16 @@ func Figure6(cfg Config) ([]Fig6Row, error) {
 
 	var rows []Fig6Row
 	for level := 1; level <= 5; level++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: figure6 cancelled before trim level %d: %w", level, err)
+		}
 		trimmed, _ := graph.Trim(full, level)
 		lcc, _ := graph.LargestComponent(trimmed)
 		if lcc.NumNodes() < 10 {
 			return nil, fmt.Errorf("experiments: trim level %d leaves %d nodes at scale %v",
 				level, lcc.NumNodes(), cfg.Scale)
 		}
-		est, err := spectral.SLEM(lcc, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
+		est, err := spectral.SLEMContext(ctx, lcc, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: dblp-%d: %w", level, err)
 		}
@@ -73,9 +85,15 @@ func Figure6(cfg Config) ([]Fig6Row, error) {
 		}
 		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(level)))
 		sources := markov.SampleSources(lcc, cfg.Sources, rng)
-		traces := chain.TraceSample(sources, cfg.MaxWalk)
+		traces, err := chain.TraceSampleParallelContext(ctx, sources, cfg.MaxWalk, 1, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dblp-%d: %w", level, err)
+		}
 		row.MeanTV = traceMeanAtWalks(traces, walks)
 		rows = append(rows, row)
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone,
+			Dataset: fmt.Sprintf("dblp-%d", level), Done: level, Total: 5,
+			Iterations: est.Iterations})
 	}
 	return rows, nil
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	"mixtime/internal/datasets"
 	"mixtime/internal/graph"
 	"mixtime/internal/markov"
+	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
 	"mixtime/internal/stats"
 	"mixtime/internal/textplot"
@@ -40,8 +42,17 @@ type Fig7Panel struct {
 // BFS-sampled (as the paper does, noting BFS can only bias the sample
 // toward faster mixing) at the three scaled sizes.
 func Figure7(cfg Config) ([]Fig7Panel, error) {
-	cfg = cfg.withDefaults()
+	return Figure7Context(context.Background(), cfg, nil)
+}
+
+// Figure7Context is Figure7 with cancellation and progress: ctx is
+// checked before every (dataset, sample size) panel and threaded into
+// the SLEM and trace propagation; each finished panel reports as a
+// KindDatasetDone.
+func Figure7Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Fig7Panel, error) {
+	cfg = cfg.WithDefaults()
 	walks := append(append([]int{}, probeWalksShort...), probeWalksLong...)
+	totalPanels := len(fig7Datasets) * len(fig7PaperSizes)
 	var panels []Fig7Panel
 	for _, name := range fig7Datasets {
 		d, err := datasets.ByName(name)
@@ -51,6 +62,9 @@ func Figure7(cfg Config) ([]Fig7Panel, error) {
 		full := d.Generate(cfg.Scale, cfg.Seed)
 		rng := rand.New(rand.NewPCG(cfg.Seed, 0xf167))
 		for _, paperSize := range fig7PaperSizes {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiments: figure7 cancelled before %s/%d: %w", name, paperSize, err)
+			}
 			size := int(float64(paperSize) * cfg.Scale)
 			if size < 100 {
 				size = 100
@@ -62,7 +76,7 @@ func Figure7(cfg Config) ([]Fig7Panel, error) {
 			sub, _ := graph.BFSSubgraph(full, start, size)
 			sub, _ = graph.LargestComponent(sub)
 
-			est, err := spectral.SLEM(sub, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
+			est, err := spectral.SLEMContext(ctx, sub, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%d: %w", name, paperSize, err)
 			}
@@ -71,7 +85,10 @@ func Figure7(cfg Config) ([]Fig7Panel, error) {
 				return nil, fmt.Errorf("experiments: %s/%d: %w", name, paperSize, err)
 			}
 			sources := markov.SampleSources(sub, cfg.Sources, rng)
-			traces := chain.TraceSample(sources, cfg.MaxWalk)
+			traces, err := chain.TraceSampleParallelContext(ctx, sources, cfg.MaxWalk, 1, nil)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%d: %w", name, paperSize, err)
+			}
 
 			p := Fig7Panel{
 				Dataset:    name,
@@ -88,6 +105,9 @@ func Figure7(cfg Config) ([]Fig7Panel, error) {
 				p.BoundEps = append(p.BoundEps, spectral.EpsilonAtWalkLength(est.Mu, float64(w)))
 			}
 			panels = append(panels, p)
+			runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone,
+				Dataset: fmt.Sprintf("%s/%d", name, paperSize),
+				Done:    len(panels), Total: totalPanels, Iterations: est.Iterations})
 		}
 	}
 	return panels, nil

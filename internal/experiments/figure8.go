@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	"mixtime/internal/datasets"
 	"mixtime/internal/graph"
+	"mixtime/internal/runner"
 	"mixtime/internal/sybil"
 	"mixtime/internal/textplot"
 )
@@ -41,7 +43,7 @@ type Fig8Config struct {
 }
 
 func (c Fig8Config) withDefaults() Fig8Config {
-	c.Config = c.Config.withDefaults()
+	c.Config = c.Config.WithDefaults()
 	if c.Nodes <= 0 {
 		c.Nodes = 2000
 	}
@@ -60,9 +62,19 @@ var fig8Datasets = []string{"physics-1", "physics-2", "physics-3", "facebook-A",
 
 // Figure8 reproduces the SybilLimit admission experiment.
 func Figure8(cfg Fig8Config) ([]Fig8Curve, error) {
+	return Figure8Context(context.Background(), cfg, nil)
+}
+
+// Figure8Context is Figure8 with cancellation and progress: ctx is
+// checked per dataset and per walk length, and each finished dataset
+// reports as a KindDatasetDone.
+func Figure8Context(ctx context.Context, cfg Fig8Config, obs runner.Observer) ([]Fig8Curve, error) {
 	cfg = cfg.withDefaults()
 	var curves []Fig8Curve
-	for _, name := range fig8Datasets {
+	for i, name := range fig8Datasets {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: figure8 cancelled before %s: %w", name, err)
+		}
 		d, err := datasets.ByName(name)
 		if err != nil {
 			return nil, err
@@ -77,6 +89,9 @@ func Figure8(cfg Fig8Config) ([]Fig8Curve, error) {
 		verifier := graph.NodeID(0)
 		suspects := sybil.AllHonest(g, verifier)
 		for _, w := range cfg.Walks {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiments: figure8 cancelled at %s w=%d: %w", name, w, err)
+			}
 			p, err := sybil.NewProtocol(g, sybil.Config{
 				W:    w,
 				R0:   cfg.R0,
@@ -90,6 +105,8 @@ func Figure8(cfg Fig8Config) ([]Fig8Curve, error) {
 			curve.Accept = append(curve.Accept, res.AcceptRate())
 		}
 		curves = append(curves, curve)
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone, Dataset: name,
+			Done: i + 1, Total: len(fig8Datasets)})
 	}
 	return curves, nil
 }

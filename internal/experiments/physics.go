@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mixtime/internal/core"
 	"mixtime/internal/datasets"
 	"mixtime/internal/markov"
+	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
 	"mixtime/internal/stats"
 	"mixtime/internal/textplot"
@@ -24,18 +26,27 @@ type DistanceCDF struct {
 
 // measurePhysics runs the shared propagation pass for one physics
 // dataset: traces from up to cfg.Sources vertices (every vertex when
-// the scaled graph is small enough — the paper's brute force).
-func measurePhysics(name string, cfg Config) (*core.Measurement, error) {
+// the scaled graph is small enough — the paper's brute force). Source
+// completions stream to obs as KindStageProgress events.
+func measurePhysics(ctx context.Context, name string, cfg Config, obs runner.Observer) (*core.Measurement, error) {
 	d, err := datasets.ByName(name)
 	if err != nil {
 		return nil, err
 	}
 	g := d.Generate(cfg.Scale, cfg.Seed)
-	return core.Measure(g, core.Options{
+	var progress func(stage string, done, total int)
+	if obs != nil {
+		progress = func(stage string, done, total int) {
+			runner.Emit(obs, runner.Event{Kind: runner.KindStageProgress,
+				Dataset: name, Stage: stage, Done: done, Total: total})
+		}
+	}
+	return core.MeasureContext(ctx, g, core.Options{
 		Sources:     cfg.Sources,
 		MaxWalk:     cfg.MaxWalk,
 		SpectralTol: cfg.SpectralTol,
 		Seed:        cfg.Seed,
+		Progress:    progress,
 	})
 }
 
@@ -48,34 +59,45 @@ func distanceCDFs(name string, m *core.Measurement, walks []int) []DistanceCDF {
 	return out
 }
 
-// Figure3 reproduces the short-walk CDFs (w ∈ {1,5,10,20,40}) of the
-// three physics co-authorship graphs.
-func Figure3(cfg Config) ([]DistanceCDF, error) {
-	cfg = cfg.withDefaults()
+// physicsCDFs is the shared Figure 3/4 loop over the named datasets.
+func physicsCDFs(ctx context.Context, names []string, walks []int, cfg Config, obs runner.Observer) ([]DistanceCDF, error) {
+	cfg = cfg.WithDefaults()
 	var rows []DistanceCDF
-	for _, name := range physicsNames {
-		m, err := measurePhysics(name, cfg)
+	for i, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: cancelled before %s: %w", name, err)
+		}
+		m, err := measurePhysics(ctx, name, cfg, obs)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", name, err)
 		}
-		rows = append(rows, distanceCDFs(name, m, probeWalksShort)...)
+		rows = append(rows, distanceCDFs(name, m, walks)...)
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone, Dataset: name,
+			Done: i + 1, Total: len(names)})
 	}
 	return rows, nil
+}
+
+// Figure3 reproduces the short-walk CDFs (w ∈ {1,5,10,20,40}) of the
+// three physics co-authorship graphs.
+func Figure3(cfg Config) ([]DistanceCDF, error) {
+	return Figure3Context(context.Background(), cfg, nil)
+}
+
+// Figure3Context is Figure3 with cancellation and progress.
+func Figure3Context(ctx context.Context, cfg Config, obs runner.Observer) ([]DistanceCDF, error) {
+	return physicsCDFs(ctx, physicsNames, probeWalksShort, cfg, obs)
 }
 
 // Figure4 reproduces the long-walk CDFs (w ∈ {80..500}) for
 // physics-2 and physics-3.
 func Figure4(cfg Config) ([]DistanceCDF, error) {
-	cfg = cfg.withDefaults()
-	var rows []DistanceCDF
-	for _, name := range physicsNames[1:] {
-		m, err := measurePhysics(name, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", name, err)
-		}
-		rows = append(rows, distanceCDFs(name, m, probeWalksLong)...)
-	}
-	return rows, nil
+	return Figure4Context(context.Background(), cfg, nil)
+}
+
+// Figure4Context is Figure4 with cancellation and progress.
+func Figure4Context(ctx context.Context, cfg Config, obs runner.Observer) ([]DistanceCDF, error) {
+	return physicsCDFs(ctx, physicsNames[1:], probeWalksLong, cfg, obs)
 }
 
 // RenderDistanceCDFs draws one dataset's CDFs (one series per walk
@@ -114,11 +136,19 @@ type Fig5Curve struct {
 // Figure5 reproduces the lower-bound-vs-sampling comparison for the
 // three physics graphs.
 func Figure5(cfg Config) ([]Fig5Curve, error) {
-	cfg = cfg.withDefaults()
+	return Figure5Context(context.Background(), cfg, nil)
+}
+
+// Figure5Context is Figure5 with cancellation and progress.
+func Figure5Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Fig5Curve, error) {
+	cfg = cfg.WithDefaults()
 	walks := append(append([]int{}, probeWalksShort...), probeWalksLong...)
 	var out []Fig5Curve
-	for _, name := range physicsNames {
-		m, err := measurePhysics(name, cfg)
+	for i, name := range physicsNames {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: figure5 cancelled before %s: %w", name, err)
+		}
+		m, err := measurePhysics(ctx, name, cfg, obs)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", name, err)
 		}
@@ -130,6 +160,8 @@ func Figure5(cfg Config) ([]Fig5Curve, error) {
 			c.BoundEps = append(c.BoundEps, spectral.EpsilonAtWalkLength(m.Mu(), float64(w)))
 		}
 		out = append(out, c)
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone, Dataset: name,
+			Done: i + 1, Total: len(physicsNames)})
 	}
 	return out, nil
 }

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"mixtime/internal/runner"
+)
+
+// artifact adapts a driver's typed rows to runner.Result: rendering
+// and CSV delegate to the artifact-specific closures, JSON marshals
+// the rows directly (each row type already has exported fields).
+type artifact struct {
+	rows   any
+	render func() string
+	csv    func(io.Writer) error
+}
+
+func (a *artifact) Render() string        { return a.render() }
+func (a *artifact) CSV(w io.Writer) error { return a.csv(w) }
+func (a *artifact) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a.rows)
+}
+
+// RenderCDFGroups draws one chart per dataset from a long-form CDF
+// row set (the Figure 3/4 layout).
+func RenderCDFGroups(figure string, rows []DistanceCDF, order []string) string {
+	var b strings.Builder
+	for _, ds := range order {
+		var sub []DistanceCDF
+		for _, r := range rows {
+			if r.Dataset == ds {
+				sub = append(sub, r)
+			}
+		}
+		b.WriteString(RenderDistanceCDFs(
+			fmt.Sprintf("%s (%s): CDF of variation distance", figure, ds), sub))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// init registers every artifact of the paper's evaluation into the
+// default runner registry under its DESIGN.md §5 ID. The legacy
+// cmd/paperfigs names are kept as aliases, so both `-only T1` and
+// `-only table1` resolve.
+func init() {
+	reg := []runner.Def{
+		{ID: "T1", Name: "table1",
+			Title: "Table 1: datasets, their properties and their second largest eigenvalues",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := Table1Context(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderTable1(rows) },
+					csv:    func(w io.Writer) error { return Table1CSV(w, rows) }}, nil
+			}},
+		{ID: "F1", Name: "fig1",
+			Title: "Figure 1: lower bound of the mixing time — small datasets",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				curves, err := Figure1Context(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: curves,
+					render: func() string {
+						return RenderBoundCurves("Figure 1: lower bound of the mixing time — small datasets", curves)
+					},
+					csv: func(w io.Writer) error { return BoundCurvesCSV(w, curves) }}, nil
+			}},
+		{ID: "F2", Name: "fig2",
+			Title: "Figure 2: lower bound of the mixing time — large datasets",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				curves, err := Figure2Context(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: curves,
+					render: func() string {
+						return RenderBoundCurves("Figure 2: lower bound of the mixing time — large datasets", curves)
+					},
+					csv: func(w io.Writer) error { return BoundCurvesCSV(w, curves) }}, nil
+			}},
+		{ID: "F3", Name: "fig3",
+			Title: "Figure 3: CDF of variation distance, short walks, physics graphs",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := Figure3Context(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string {
+						return RenderCDFGroups("Figure 3", rows, []string{"physics-1", "physics-2", "physics-3"})
+					},
+					csv: func(w io.Writer) error { return DistanceCDFsCSV(w, rows) }}, nil
+			}},
+		{ID: "F4", Name: "fig4",
+			Title: "Figure 4: CDF of variation distance, long walks, physics graphs",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := Figure4Context(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string {
+						return RenderCDFGroups("Figure 4", rows, []string{"physics-2", "physics-3"})
+					},
+					csv: func(w io.Writer) error { return DistanceCDFsCSV(w, rows) }}, nil
+			}},
+		{ID: "F5", Name: "fig5",
+			Title: "Figure 5: lower bound vs sampled mixing, physics graphs",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				curves, err := Figure5Context(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: curves,
+					render: func() string {
+						var b strings.Builder
+						for _, c := range curves {
+							b.WriteString(RenderFig5(c))
+							b.WriteByte('\n')
+						}
+						return b.String()
+					},
+					csv: func(w io.Writer) error { return Fig5CSV(w, curves) }}, nil
+			}},
+		{ID: "F6", Name: "fig6",
+			Title: "Figure 6: effect of degree-trimming on DBLP",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := Figure6Context(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderFig6(rows) },
+					csv:    func(w io.Writer) error { return Fig6CSV(w, rows) }}, nil
+			}},
+		{ID: "F7", Name: "fig7",
+			Title: "Figure 7: sampling vs lower bound on BFS samples of the large graphs",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				panels, err := Figure7Context(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: panels,
+					render: func() string {
+						var b strings.Builder
+						for _, p := range panels {
+							b.WriteString(RenderFig7Panel(p))
+							b.WriteByte('\n')
+						}
+						return b.String()
+					},
+					csv: func(w io.Writer) error { return Fig7CSV(w, panels) }}, nil
+			}},
+		{ID: "F8", Name: "fig8",
+			Title: "Figure 8: SybilLimit admission rate vs random walk length",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				curves, err := Figure8Context(ctx, Fig8Config{Config: cfg}, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: curves,
+					render: func() string { return RenderFig8(curves) },
+					csv:    func(w io.Writer) error { return Fig8CSV(w, curves) }}, nil
+			}},
+		{ID: "X1", Name: "attack",
+			Title: "SybilLimit under attack: honest admission vs tail escapes",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := SybilAttackContext(ctx, SybilAttackConfig{Config: cfg}, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderSybilAttack(rows) },
+					csv:    func(w io.Writer) error { return SybilAttackCSV(w, rows) }}, nil
+			}},
+		{ID: "X2", Name: "conductance",
+			Title: "Conductance: Cheeger bounds and spectral sweep cuts",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := ConductanceContext(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderConductance(rows) },
+					csv:    func(w io.Writer) error { return ConductanceCSV(w, rows) }}, nil
+			}},
+		{ID: "X3", Name: "whanau",
+			Title: "Whānau check: walk-tail edge distributions vs uniform",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := WhanauContext(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderWhanau(rows) },
+					csv:    func(w io.Writer) error { return WhanauCSV(w, rows) }}, nil
+			}},
+		{ID: "X4", Name: "trust",
+			Title: "Trust-modulated walks: mixing cost of trust models",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := TrustModelsContext(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderTrust(rows) },
+					csv:    func(w io.Writer) error { return TrustCSV(w, rows) }}, nil
+			}},
+		{ID: "X5", Name: "detection",
+			Title: "SybilInfer detection vs trace walk length",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := DetectionContext(ctx, DetectionConfig{Config: cfg}, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderDetection(rows) },
+					csv:    func(w io.Writer) error { return DetectionCSV(w, rows) }}, nil
+			}},
+		{ID: "X6", Name: "defenses",
+			Title: "Defense comparison: ranking AUC under one attack",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := DefenseComparisonContext(ctx, DefenseComparisonConfig{Config: cfg}, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderDefenseComparison(rows) },
+					csv:    func(w io.Writer) error { return DefenseComparisonCSV(w, rows) }}, nil
+			}},
+		{ID: "X7", Name: "whanau-lookup",
+			Title: "Whānau lookup success vs table-building walk length",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := WhanauLookupContext(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderWhanauLookup(rows) },
+					csv:    func(w io.Writer) error { return WhanauLookupCSV(w, rows) }}, nil
+			}},
+	}
+	for _, d := range reg {
+		runner.MustRegister(d)
+	}
+}

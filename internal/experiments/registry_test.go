@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"mixtime/internal/runner"
+)
+
+// designIDs is the DESIGN.md §5 artifact inventory. The registry must
+// carry exactly these, each once.
+var designIDs = map[string]string{
+	"T1": "table1",
+	"F1": "fig1", "F2": "fig2", "F3": "fig3", "F4": "fig4",
+	"F5": "fig5", "F6": "fig6", "F7": "fig7", "F8": "fig8",
+	"X1": "attack", "X2": "conductance", "X3": "whanau", "X4": "trust",
+	"X5": "detection", "X6": "defenses", "X7": "whanau-lookup",
+}
+
+func TestRegistryCompleteness(t *testing.T) {
+	reg := runner.Default()
+	ids := reg.IDs()
+	if len(ids) != len(designIDs) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(designIDs), ids)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("ID %s registered more than once", id)
+		}
+		seen[id] = true
+		legacy, ok := designIDs[id]
+		if !ok {
+			t.Errorf("ID %s is not in DESIGN.md §5", id)
+			continue
+		}
+		byID, ok := reg.Resolve(id)
+		if !ok {
+			t.Errorf("Resolve(%s) failed", id)
+			continue
+		}
+		byName, ok := reg.Resolve(legacy)
+		if !ok {
+			t.Errorf("legacy name %q does not resolve", legacy)
+			continue
+		}
+		if byName.ID != byID.ID {
+			t.Errorf("Resolve(%q).ID = %s, want %s", legacy, byName.ID, id)
+		}
+		if byID.Title == "" {
+			t.Errorf("%s has no title", id)
+		}
+	}
+	for id := range designIDs {
+		if !seen[id] {
+			t.Errorf("DESIGN.md §5 artifact %s is not registered", id)
+		}
+	}
+}
+
+// TestRegistryDeterminism checks the runner's core output guarantee:
+// a parallel run renders byte-identically to a sequential one, because
+// every experiment derives its randomness from Config.Seed alone.
+func TestRegistryDeterminism(t *testing.T) {
+	subset := []string{"T1", "X3"}
+	render := func(jobs int) string {
+		r := &runner.Runner{Jobs: jobs}
+		report, err := r.Run(context.Background(), tiny, subset...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, e := range report.Experiments {
+			b.WriteString(e.ID)
+			b.WriteByte('\n')
+			b.WriteString(e.Result.Render())
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(2)
+	if seq != par {
+		t.Errorf("parallel output differs from sequential\n-- jobs=1 --\n%s\n-- jobs=2 --\n%s", seq, par)
+	}
+}
+
+// TestRegistryCancellation drives a real registered experiment with a
+// pre-cancelled context: the driver must notice and surface an error
+// wrapping context.Canceled instead of computing the artifact.
+func TestRegistryCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"T1", "X3", "X4"} {
+		def, ok := runner.Default().Resolve(id)
+		if !ok {
+			t.Fatalf("Resolve(%s) failed", id)
+		}
+		res, err := def.Run(ctx, tiny, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want wrap of context.Canceled", id, err)
+		}
+		if res != nil {
+			t.Errorf("%s: got a result from a cancelled run", id)
+		}
+	}
+}
+
+// TestArtifactEmission checks the Result contract on a real artifact:
+// Render is non-empty, CSV has a header row, and JSON is well-formed.
+func TestArtifactEmission(t *testing.T) {
+	def, ok := runner.Default().Resolve("X3")
+	if !ok {
+		t.Fatal("Resolve(X3) failed")
+	}
+	res, err := def.Run(context.Background(), tiny, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render() == "" {
+		t.Error("Render() is empty")
+	}
+	var csv bytes.Buffer
+	if err := res.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(csv.String()), "\n"); len(lines) < 2 {
+		t.Errorf("CSV has %d lines, want header + rows:\n%s", len(lines), csv.String())
+	}
+	var js bytes.Buffer
+	if err := res.JSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var rows []WhanauRow
+	if err := json.Unmarshal(js.Bytes(), &rows); err != nil {
+		t.Errorf("JSON does not round-trip: %v", err)
+	} else if len(rows) == 0 {
+		t.Error("JSON decoded to zero rows")
+	}
+}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mixtime/internal/datasets"
+	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
 	"mixtime/internal/textplot"
 )
@@ -28,11 +30,22 @@ type Table1Row struct {
 // substitute is generated, its largest component extracted, and its
 // SLEM measured.
 func Table1(cfg Config) ([]Table1Row, error) {
-	cfg = cfg.withDefaults()
+	return Table1Context(context.Background(), cfg, nil)
+}
+
+// Table1Context is Table1 with cancellation and progress: ctx is
+// checked between datasets and threaded into each SLEM estimation,
+// and obs receives one KindDatasetDone per dataset.
+func Table1Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Table1Row, error) {
+	cfg = cfg.WithDefaults()
+	all := datasets.All()
 	var rows []Table1Row
-	for _, d := range datasets.All() {
+	for i, d := range all {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: table1 cancelled before %s: %w", d.Name, err)
+		}
 		g := d.Generate(cfg.Scale, cfg.Seed)
-		est, err := spectral.SLEM(g, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
+		est, err := spectral.SLEMContext(ctx, g, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
 		}
@@ -47,6 +60,8 @@ func Table1(cfg Config) ([]Table1Row, error) {
 			Mu:         est.Mu,
 			Converged:  est.Converged,
 		})
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone, Dataset: d.Name,
+			Stage: "spectral", Done: i + 1, Total: len(all), Iterations: est.Iterations})
 	}
 	return rows, nil
 }

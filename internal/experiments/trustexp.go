@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mixtime/internal/datasets"
+	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
 	"mixtime/internal/textplot"
 	"mixtime/internal/trust"
@@ -33,10 +35,20 @@ var trustDatasets = []string{"wiki-vote", "facebook", "enron", "physics-1", "phy
 
 // TrustModels runs the trust-cost experiment.
 func TrustModels(cfg Config) ([]TrustRow, error) {
-	cfg = cfg.withDefaults()
+	return TrustModelsContext(context.Background(), cfg, nil)
+}
+
+// TrustModelsContext is TrustModels with cancellation and progress:
+// ctx is checked per dataset and threaded into each weighted SLEM,
+// and each finished dataset reports as a KindDatasetDone.
+func TrustModelsContext(ctx context.Context, cfg Config, obs runner.Observer) ([]TrustRow, error) {
+	cfg = cfg.WithDefaults()
 	opt := spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed}
 	var rows []TrustRow
-	for _, name := range trustDatasets {
+	for i, name := range trustDatasets {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: trust models cancelled before %s: %w", name, err)
+		}
 		d, err := datasets.ByName(name)
 		if err != nil {
 			return nil, err
@@ -65,7 +77,7 @@ func TrustModels(cfg Config) ([]TrustRow, error) {
 			{jac, &row.MuJaccard, &row.T10Jaccard},
 			{hes, &row.MuHesitant, &row.T10Hesitant},
 		} {
-			est, err := c.chain.SLEM(opt)
+			est, err := c.chain.SLEMContext(ctx, opt)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s: %w", name, err)
 			}
@@ -73,6 +85,8 @@ func TrustModels(cfg Config) ([]TrustRow, error) {
 			*c.t10 = spectral.MixingLowerBound(est.Mu, 0.1)
 		}
 		rows = append(rows, row)
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone, Dataset: name,
+			Done: i + 1, Total: len(trustDatasets)})
 	}
 	return rows, nil
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	"mixtime/internal/datasets"
 	"mixtime/internal/graph"
 	"mixtime/internal/markov"
+	"mixtime/internal/runner"
 	"mixtime/internal/stats"
 	"mixtime/internal/textplot"
 )
@@ -43,9 +45,16 @@ var whanauDatasets = []string{"facebook", "physics-1", "livejournal-A"}
 
 // Whanau runs the tail-distribution experiment.
 func Whanau(cfg Config) ([]WhanauRow, error) {
-	cfg = cfg.withDefaults()
+	return WhanauContext(context.Background(), cfg, nil)
+}
+
+// WhanauContext is Whanau with cancellation and progress: ctx is
+// checked per source inside the propagation loop (each source costs
+// maxW steps) and each finished dataset reports as a KindDatasetDone.
+func WhanauContext(ctx context.Context, cfg Config, obs runner.Observer) ([]WhanauRow, error) {
+	cfg = cfg.WithDefaults()
 	var rows []WhanauRow
-	for _, name := range whanauDatasets {
+	for di, name := range whanauDatasets {
 		d, err := datasets.ByName(name)
 		if err != nil {
 			return nil, err
@@ -73,7 +82,10 @@ func Whanau(cfg Config) ([]WhanauRow, error) {
 		p := make([]float64, n)
 		q := make([]float64, n)
 		scratch := make([]float64, n)
-		for _, s := range sources {
+		for si, s := range sources {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiments: whanau cancelled at %s source %d: %w", name, si, err)
+			}
 			for i := range p {
 				p[i] = 0
 			}
@@ -104,6 +116,8 @@ func Whanau(cfg Config) ([]WhanauRow, error) {
 				MeanSeparation: stats.Summarize(a.sep).Mean,
 			})
 		}
+		runner.Emit(obs, runner.Event{Kind: runner.KindDatasetDone, Dataset: name,
+			Done: di + 1, Total: len(whanauDatasets)})
 	}
 	return rows, nil
 }

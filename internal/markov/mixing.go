@@ -1,6 +1,8 @@
 package markov
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"mixtime/internal/graph"
@@ -43,17 +45,28 @@ func (tr *Trace) MixingTime(eps float64) (int, bool) {
 // TraceFrom propagates the point distribution at src for maxT steps
 // and records the TV distance after every step.
 func (c *Chain) TraceFrom(src graph.NodeID, maxT int) *Trace {
+	tr, _ := c.TraceFromContext(context.Background(), src, maxT)
+	return tr
+}
+
+// TraceFromContext is TraceFrom with cancellation: the propagation
+// loop checks ctx every step (each step is O(m), so the check is
+// free) and returns the wrapped ctx.Err() when cancelled.
+func (c *Chain) TraceFromContext(ctx context.Context, src graph.NodeID, maxT int) (*Trace, error) {
 	n := c.g.NumNodes()
 	p := c.Delta(src)
 	q := make([]float64, n)
 	scratch := make([]float64, n)
 	tv := make([]float64, maxT)
 	for t := 0; t < maxT; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("markov: trace from %d cancelled at step %d: %w", src, t, err)
+		}
 		c.Step(q, p, scratch)
 		p, q = q, p
 		tv[t] = TVDistance(p, c.pi)
 	}
-	return &Trace{Source: src, TV: tv}
+	return &Trace{Source: src, TV: tv}, nil
 }
 
 // TraceUntil propagates from src until the TV distance drops below

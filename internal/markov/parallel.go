@@ -1,6 +1,8 @@
 package markov
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -13,19 +15,46 @@ import (
 // uses GOMAXPROCS. Results are in source order, identical to the
 // sequential ones.
 func (c *Chain) TraceSampleParallel(sources []graph.NodeID, maxT, workers int) []*Trace {
+	traces, _ := c.TraceSampleParallelContext(context.Background(), sources, maxT, workers, nil)
+	return traces
+}
+
+// TraceSampleParallelContext is TraceSampleParallel with cancellation
+// and progress reporting. The pool stops claiming sources once ctx is
+// done and the in-flight propagations abort at their next step; the
+// error then wraps ctx.Err(). onTrace, if non-nil, is called after
+// each completed trace with (completed, total) — calls are serialized
+// and monotonic, so observers can report "sources completed" counters
+// without their own locking.
+func (c *Chain) TraceSampleParallelContext(ctx context.Context, sources []graph.NodeID, maxT, workers int, onTrace func(done, total int)) ([]*Trace, error) {
+	total := len(sources)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(sources) {
-		workers = len(sources)
+	if workers > total {
+		workers = total
 	}
 	if workers <= 1 {
-		return c.TraceSample(sources, maxT)
+		traces := make([]*Trace, total)
+		for i, s := range sources {
+			tr, err := c.TraceFromContext(ctx, s, maxT)
+			if err != nil {
+				return nil, err
+			}
+			traces[i] = tr
+			if onTrace != nil {
+				onTrace(i+1, total)
+			}
+		}
+		return traces, nil
 	}
-	traces := make([]*Trace, len(sources))
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	traces := make([]*Trace, total)
+	var (
+		next int
+		done int
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -35,15 +64,28 @@ func (c *Chain) TraceSampleParallel(sources []graph.NodeID, maxT, workers int) [
 				i := next
 				next++
 				mu.Unlock()
-				if i >= len(sources) {
+				if i >= total || ctx.Err() != nil {
 					return
 				}
-				traces[i] = c.TraceFrom(sources[i], maxT)
+				tr, err := c.TraceFromContext(ctx, sources[i], maxT)
+				if err != nil {
+					return // ctx cancelled; surfaced after Wait
+				}
+				traces[i] = tr
+				mu.Lock()
+				done++
+				if onTrace != nil {
+					onTrace(done, total)
+				}
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
-	return traces
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("markov: trace sampling cancelled after %d of %d sources: %w", done, total, err)
+	}
+	return traces, nil
 }
 
 // TraceAllParallel is TraceAll over the worker pool.

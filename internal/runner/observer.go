@@ -1,0 +1,120 @@
+package runner
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind classifies a progress event.
+type EventKind int
+
+const (
+	// KindRunStarted opens a run; Total carries the experiment count.
+	KindRunStarted EventKind = iota
+	// KindRunFinished closes a run; Elapsed is the wall time.
+	KindRunFinished
+	// KindExperimentStarted fires when a worker picks an experiment up.
+	KindExperimentStarted
+	// KindExperimentFinished fires when an experiment returns; Err is
+	// its error (nil on success) and Elapsed its wall time.
+	KindExperimentFinished
+	// KindDatasetDone fires when a driver finishes one dataset (or
+	// dataset-sized unit of work); Done/Total count datasets and
+	// Iterations carries stage iteration counters (e.g. SLEM matvecs).
+	KindDatasetDone
+	// KindStageProgress reports fine-grained progress inside a stage,
+	// e.g. sources completed during trace propagation.
+	KindStageProgress
+)
+
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case KindRunStarted:
+		return "run-started"
+	case KindRunFinished:
+		return "run-finished"
+	case KindExperimentStarted:
+		return "experiment-started"
+	case KindExperimentFinished:
+		return "experiment-finished"
+	case KindDatasetDone:
+		return "dataset-done"
+	case KindStageProgress:
+		return "stage-progress"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one structured progress notification. Fields beyond Kind
+// are filled as applicable; the runner stamps Experiment with the
+// registry ID, so drivers only report what they know locally.
+type Event struct {
+	Kind EventKind
+	// Experiment is the registry ID (e.g. "F3").
+	Experiment string
+	// Dataset names the dataset the event concerns, if any.
+	Dataset string
+	// Stage names the driver stage ("spectral", "sampling", ...).
+	Stage string
+	// Done/Total count completed units (datasets, sources, ...).
+	Done, Total int
+	// Iterations carries iteration counters (e.g. SLEM matvecs).
+	Iterations int
+	// Elapsed is the wall time of the finished unit, when measured.
+	Elapsed time.Duration
+	// Err is the failure attached to a finished experiment or run.
+	Err error
+}
+
+// Observer receives progress events. Implementations used with the
+// runner need not be safe for concurrent use: the runner serializes
+// deliveries from its worker pool.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent calls f.
+func (f ObserverFunc) OnEvent(e Event) { f(e) }
+
+// Emit delivers e to obs if obs is non-nil. Drivers call this so a
+// nil observer means "no observability" without nil checks anywhere.
+func Emit(obs Observer, e Event) {
+	if obs != nil {
+		obs.OnEvent(e)
+	}
+}
+
+// lockedObserver serializes deliveries from concurrent workers onto a
+// possibly non-thread-safe user observer.
+type lockedObserver struct {
+	mu    sync.Mutex
+	inner Observer
+}
+
+func (l *lockedObserver) OnEvent(e Event) {
+	if l.inner == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnEvent(e)
+}
+
+// stampedObserver fills Event.Experiment with the registry ID before
+// forwarding, so driver code stays ID-agnostic.
+type stampedObserver struct {
+	inner Observer
+	id    string
+}
+
+func (s stampedObserver) OnEvent(e Event) {
+	if e.Experiment == "" {
+		e.Experiment = s.id
+	}
+	s.inner.OnEvent(e)
+}

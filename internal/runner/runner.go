@@ -1,0 +1,314 @@
+// Package runner turns the per-figure experiment drivers into one
+// schedulable, cancellable, observable unit. Every artifact of the
+// paper's evaluation registers into a Registry under its DESIGN.md §5
+// ID (T1, F1–F8, X1–X7) behind the uniform contract
+//
+//	Run(ctx context.Context, cfg Config, obs Observer) (Result, error)
+//
+// and the Runner schedules any subset across a bounded worker pool.
+// Experiments derive every random stream from Config.Seed alone, so a
+// parallel run renders byte-identically to a sequential one; context
+// cancellation is threaded through the long loops (trace propagation,
+// power/Lanczos iteration), so a cancelled run stops promptly instead
+// of finishing the figure it was on.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Result is a finished experiment's artifact: renderable text plus
+// uniform machine-readable emission.
+type Result interface {
+	// Render returns the artifact as the text table / ASCII chart the
+	// paper shows.
+	Render() string
+	// CSV writes the raw rows as CSV.
+	CSV(w io.Writer) error
+	// JSON writes the raw rows as indented JSON.
+	JSON(w io.Writer) error
+}
+
+// RunFunc is the uniform experiment entry point.
+type RunFunc func(ctx context.Context, cfg Config, obs Observer) (Result, error)
+
+// Def describes one registered experiment.
+type Def struct {
+	// ID is the DESIGN.md §5 artifact ID ("T1", "F3", "X7").
+	ID string
+	// Name is the legacy cmd/paperfigs artifact name ("table1",
+	// "fig3", "whanau-lookup"); Resolve accepts either.
+	Name string
+	// Title is a one-line description for listings and summaries.
+	Title string
+	// Run executes the experiment.
+	Run RunFunc
+}
+
+// Registry holds experiment definitions in registration order.
+type Registry struct {
+	mu    sync.RWMutex
+	order []string        // IDs in registration order
+	byKey map[string]*Def // lowercase ID and Name → def
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]*Def{}}
+}
+
+// Register adds d; it fails on a missing ID or Run, or when the ID or
+// Name collides with an earlier registration — together with the
+// completeness test this guarantees every artifact is registered
+// exactly once.
+func (r *Registry) Register(d Def) error {
+	if d.ID == "" || d.Run == nil {
+		return errors.New("runner: Def needs an ID and a Run func")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := []string{strings.ToLower(d.ID)}
+	if d.Name != "" && !strings.EqualFold(d.Name, d.ID) {
+		keys = append(keys, strings.ToLower(d.Name))
+	}
+	for _, k := range keys {
+		if _, dup := r.byKey[k]; dup {
+			return fmt.Errorf("runner: %q already registered", k)
+		}
+	}
+	def := d
+	for _, k := range keys {
+		r.byKey[k] = &def
+	}
+	r.order = append(r.order, d.ID)
+	return nil
+}
+
+// MustRegister is Register, panicking on error (for init-time use).
+func (r *Registry) MustRegister(d Def) {
+	if err := r.Register(d); err != nil {
+		panic(err)
+	}
+}
+
+// Resolve looks an experiment up by ID or legacy name,
+// case-insensitively.
+func (r *Registry) Resolve(key string) (Def, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byKey[strings.ToLower(strings.TrimSpace(key))]
+	if !ok {
+		return Def{}, false
+	}
+	return *d, true
+}
+
+// IDs returns the registered IDs in registration order.
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Defs returns the definitions in registration order.
+func (r *Registry) Defs() []Def {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Def, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, *r.byKey[strings.ToLower(id)])
+	}
+	return out
+}
+
+// defaultRegistry is populated by internal/experiments at init time.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Register adds d to the default registry.
+func Register(d Def) error { return defaultRegistry.Register(d) }
+
+// MustRegister adds d to the default registry, panicking on error.
+func MustRegister(d Def) { defaultRegistry.MustRegister(d) }
+
+// ExperimentReport is one experiment's outcome within a run.
+type ExperimentReport struct {
+	ID      string
+	Name    string
+	Title   string
+	Result  Result // nil on error or skip
+	Err     error  // non-nil on failure; wraps ctx.Err() when skipped
+	Elapsed time.Duration
+	// Skipped reports the experiment never started because the run was
+	// cancelled first.
+	Skipped bool
+}
+
+// Report is a completed (or cancelled) run.
+type Report struct {
+	// Experiments are in request order, regardless of which worker
+	// finished first.
+	Experiments []ExperimentReport
+	// Wall is the whole run's wall time.
+	Wall time.Duration
+	// Jobs is the worker-pool size used.
+	Jobs int
+}
+
+// Summary renders the per-experiment timing table the run ends with.
+func (rp *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run summary: %d experiments, %d jobs, %.1fs wall\n",
+		len(rp.Experiments), rp.Jobs, rp.Wall.Seconds())
+	width := 2
+	for _, e := range rp.Experiments {
+		if len(e.ID) > width {
+			width = len(e.ID)
+		}
+	}
+	for _, e := range rp.Experiments {
+		status := "ok"
+		switch {
+		case e.Skipped:
+			status = "skipped (cancelled)"
+		case e.Err != nil:
+			status = "error: " + e.Err.Error()
+		}
+		fmt.Fprintf(&b, "  %-*s  %8.2fs  %s\n", width, e.ID, e.Elapsed.Seconds(), status)
+	}
+	return b.String()
+}
+
+// Runner schedules registered experiments over a worker pool.
+type Runner struct {
+	// Registry to draw experiments from; nil means Default().
+	Registry *Registry
+	// Jobs bounds the number of experiments in flight (<= 0 means
+	// GOMAXPROCS). Independent experiments run in parallel; output is
+	// byte-identical to a sequential run because every experiment
+	// seeds its own random streams from Config.Seed.
+	Jobs int
+	// Observer receives progress events. It need not be thread-safe:
+	// the runner serializes deliveries.
+	Observer Observer
+}
+
+// Run executes the named experiments (all registered ones when keys
+// is empty) under cfg and returns the per-experiment report. The
+// returned error wraps ctx.Err() when the run was cancelled, and
+// joins the per-experiment failures otherwise; the report is returned
+// in both cases so partial results stay inspectable.
+func (r *Runner) Run(ctx context.Context, cfg Config, keys ...string) (*Report, error) {
+	reg := r.Registry
+	if reg == nil {
+		reg = Default()
+	}
+	var defs []Def
+	if len(keys) == 0 {
+		defs = reg.Defs()
+	} else {
+		for _, k := range keys {
+			d, ok := reg.Resolve(k)
+			if !ok {
+				return nil, fmt.Errorf("runner: unknown experiment %q (known: %s)",
+					k, strings.Join(reg.IDs(), ", "))
+			}
+			defs = append(defs, d)
+		}
+	}
+	if len(defs) == 0 {
+		return nil, errors.New("runner: no experiments registered")
+	}
+	cfg = cfg.WithDefaults()
+
+	jobs := r.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(defs) {
+		jobs = len(defs)
+	}
+
+	obs := &lockedObserver{inner: r.Observer}
+	reports := make([]ExperimentReport, len(defs))
+	start := time.Now()
+	Emit(obs, Event{Kind: KindRunStarted, Total: len(defs)})
+
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(defs) {
+					return
+				}
+				d := defs[i]
+				rep := &reports[i]
+				rep.ID, rep.Name, rep.Title = d.ID, d.Name, d.Title
+				if err := ctx.Err(); err != nil {
+					rep.Skipped = true
+					rep.Err = fmt.Errorf("runner: %s skipped: %w", d.ID, err)
+					continue
+				}
+				t0 := time.Now()
+				Emit(obs, Event{Kind: KindExperimentStarted, Experiment: d.ID})
+				res, err := d.Run(ctx, cfg, stampedObserver{inner: obs, id: d.ID})
+				rep.Result, rep.Err = res, err
+				rep.Elapsed = time.Since(t0)
+				Emit(obs, Event{Kind: KindExperimentFinished, Experiment: d.ID,
+					Elapsed: rep.Elapsed, Err: err})
+			}
+		}()
+	}
+	wg.Wait()
+
+	report := &Report{Experiments: reports, Wall: time.Since(start), Jobs: jobs}
+	Emit(obs, Event{Kind: KindRunFinished, Total: len(defs), Elapsed: report.Wall})
+	if err := ctx.Err(); err != nil {
+		done := 0
+		for _, e := range reports {
+			if e.Err == nil && !e.Skipped {
+				done++
+			}
+		}
+		return report, fmt.Errorf("runner: cancelled after %d of %d experiments: %w",
+			done, len(defs), err)
+	}
+	var errs []error
+	for _, e := range reports {
+		if e.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", e.ID, e.Err))
+		}
+	}
+	if len(errs) > 0 {
+		return report, errors.Join(errs...)
+	}
+	return report, nil
+}
+
+// SortedIDs returns the registry IDs sorted lexicographically —
+// convenient for stable listings in CLI help output.
+func SortedIDs(reg *Registry) []string {
+	ids := reg.IDs()
+	sort.Strings(ids)
+	return ids
+}

@@ -1,7 +1,9 @@
 package spectral
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand/v2"
 
@@ -23,14 +25,21 @@ import (
 // (default 500). The estimate converges when both extremes move less
 // than Tol between consecutive steps, checked over a 3-step window.
 func SLEMLanczos(g *graph.Graph, opt Options) (*Estimate, error) {
+	return SLEMLanczosContext(context.Background(), g, opt)
+}
+
+// SLEMLanczosContext is SLEMLanczos with cancellation: the Lanczos
+// loop checks ctx once per step (each step is an O(m) matvec plus
+// reorthogonalization) and returns the wrapped ctx.Err().
+func SLEMLanczosContext(ctx context.Context, g *graph.Graph, opt Options) (*Estimate, error) {
 	op, err := NewOperator(g)
 	if err != nil {
 		return nil, err
 	}
-	return slemLanczosOp(op, opt)
+	return slemLanczosOp(ctx, op, opt)
 }
 
-func slemLanczosOp(op *Operator, opt Options) (*Estimate, error) {
+func slemLanczosOp(ctx context.Context, op *Operator, opt Options) (*Estimate, error) {
 	opt = opt.withDefaults(500)
 	n := op.Dim()
 	if n < 2 {
@@ -69,6 +78,9 @@ func slemLanczosOp(op *Operator, opt Options) (*Estimate, error) {
 	converged := false
 
 	for k := 0; k < maxK; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("spectral: Lanczos cancelled at step %d: %w", k, err)
+		}
 		iters++
 		op.Apply(w, basis[k], scratch)
 		a := linalg.Dot(basis[k], w)
@@ -212,16 +224,31 @@ func lanczosTridiagonal(op *Operator, opt Options) (*linalg.Tridiag, error) {
 // power iteration if Lanczos fails to converge within its iteration
 // budget. This is the entry point the experiment drivers use.
 func SLEM(g *graph.Graph, opt Options) (*Estimate, error) {
-	est, err := SLEMLanczos(g, opt)
+	return SLEMContext(context.Background(), g, opt)
+}
+
+// SLEMContext is SLEM with cancellation: both the Lanczos attempt and
+// the power fallback abort at their next iteration once ctx is done,
+// and the returned error wraps ctx.Err().
+func SLEMContext(ctx context.Context, g *graph.Graph, opt Options) (*Estimate, error) {
+	est, err := SLEMLanczosContext(ctx, g, opt)
 	if err != nil {
 		return nil, err
 	}
 	if est.Converged {
 		return est, nil
 	}
-	pow, err := SLEMPower(g, opt)
-	if err != nil || !pow.Converged {
+	pow, err := SLEMPowerContext(ctx, g, opt)
+	if err != nil {
+		// A cancelled fallback must surface rather than be swallowed
+		// as an "unconverged but usable" estimate.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, err
+		}
 		return est, nil // keep the (unconverged) Lanczos estimate
+	}
+	if !pow.Converged {
+		return est, nil
 	}
 	return pow, nil
 }

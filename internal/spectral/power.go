@@ -1,7 +1,9 @@
 package spectral
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand/v2"
 
@@ -65,7 +67,9 @@ func randomUnit(x []float64, rng *rand.Rand) {
 //
 // With shift=+1, scale=2 the top restricted eigenvalue is (λ₂+1)/2;
 // with shift=-1, scale=-2 (i.e. (I−S)/2) it is (1−λ_n)/2.
-func powerExtreme(op *Operator, shift, scale float64, opt Options) (val float64, vec []float64, iters int, ok bool) {
+// The iteration checks ctx once per operator application and returns
+// the wrapped ctx.Err() when cancelled.
+func powerExtreme(ctx context.Context, op *Operator, shift, scale float64, opt Options) (val float64, vec []float64, iters int, ok bool, err error) {
 	n := op.Dim()
 	rng := rand.New(rand.NewPCG(opt.Seed, 0x51e3))
 	x := make([]float64, n)
@@ -77,6 +81,9 @@ func powerExtreme(op *Operator, shift, scale float64, opt Options) (val float64,
 
 	var rho float64
 	for iters = 1; iters <= opt.MaxIter; iters++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, nil, iters, false, fmt.Errorf("spectral: power iteration cancelled at matvec %d: %w", iters, cerr)
+		}
 		op.Apply(sx, x, scratch)
 		// y = (S + shift I)/scale · x
 		for i := range sx {
@@ -95,14 +102,14 @@ func powerExtreme(op *Operator, shift, scale float64, opt Options) (val float64,
 		if norm == 0 {
 			// x was (numerically) entirely in the null space; the
 			// restricted operator is zero in this direction.
-			return rho, x, iters, true
+			return rho, x, iters, true, nil
 		}
 		x, sx = sx, x
 		if res <= opt.Tol/2 {
-			return rho, x, iters, true
+			return rho, x, iters, true, nil
 		}
 	}
-	return rho, x, iters, false
+	return rho, x, iters, false, nil
 }
 
 // SLEMPower estimates µ by two deflated power iterations on shifted
@@ -113,14 +120,19 @@ func powerExtreme(op *Operator, shift, scale float64, opt Options) (val float64,
 // simple, O(n)-memory method; prefer SLEMLanczos when the spectral
 // gap is small (slow-mixing graphs) and memory allows.
 func SLEMPower(g *graph.Graph, opt Options) (*Estimate, error) {
+	return SLEMPowerContext(context.Background(), g, opt)
+}
+
+// SLEMPowerContext is SLEMPower with cancellation.
+func SLEMPowerContext(ctx context.Context, g *graph.Graph, opt Options) (*Estimate, error) {
 	op, err := NewOperator(g)
 	if err != nil {
 		return nil, err
 	}
-	return slemPowerOp(op, opt)
+	return slemPowerOp(ctx, op, opt)
 }
 
-func slemPowerOp(op *Operator, opt Options) (*Estimate, error) {
+func slemPowerOp(ctx context.Context, op *Operator, opt Options) (*Estimate, error) {
 	opt = opt.withDefaults(50_000)
 	if op.Dim() < 2 {
 		return nil, errors.New("spectral: graph too small for SLEM")
@@ -128,7 +140,10 @@ func slemPowerOp(op *Operator, opt Options) (*Estimate, error) {
 	// λ₂ from (S+I)/2; tolerance halves because λ₂ = 2ρ − 1.
 	hiOpt := opt
 	hiOpt.Tol = opt.Tol / 2
-	rhoHi, vec2, it1, ok1 := powerExtreme(op, +1, 2, hiOpt)
+	rhoHi, vec2, it1, ok1, err := powerExtreme(ctx, op, +1, 2, hiOpt)
+	if err != nil {
+		return nil, err
+	}
 	lambda2 := 2*rhoHi - 1
 
 	// λ_n from (I−S)/2: top eigenvalue there is (1−λ_n)/2. v₁ has
@@ -136,7 +151,10 @@ func slemPowerOp(op *Operator, opt Options) (*Estimate, error) {
 	loOpt := opt
 	loOpt.Tol = opt.Tol / 2
 	loOpt.Seed = opt.Seed + 1
-	rhoLo, _, it2, ok2 := powerExtreme(op, -1, -2, loOpt)
+	rhoLo, _, it2, ok2, err := powerExtreme(ctx, op, -1, -2, loOpt)
+	if err != nil {
+		return nil, err
+	}
 	lambdaN := 1 - 2*rhoLo
 
 	return &Estimate{

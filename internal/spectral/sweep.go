@@ -1,6 +1,7 @@
 package spectral
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -111,7 +112,12 @@ func SweepCut(g *graph.Graph, score []float64) *Cut {
 // eigenvector by power iteration and sweep it. It returns the cut and
 // the SLEM estimate used.
 func SweepConductance(g *graph.Graph, opt Options) (*Cut, *Estimate, error) {
-	est, err := SLEMPower(g, opt)
+	return SweepConductanceContext(context.Background(), g, opt)
+}
+
+// SweepConductanceContext is SweepConductance with cancellation.
+func SweepConductanceContext(ctx context.Context, g *graph.Graph, opt Options) (*Cut, *Estimate, error) {
+	est, err := SLEMPowerContext(ctx, g, opt)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -23,6 +23,7 @@
 package trust
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -205,11 +206,17 @@ func (c *Chain) TraceFrom(src graph.NodeID, maxT int) *markov.Trace {
 // S = D_w^{-1/2} W D_w^{-1/2} and then hesitation is applied as the
 // affine map λ ↦ α + (1−α)λ.
 func (c *Chain) SLEM(opt spectral.Options) (*spectral.Estimate, error) {
+	return c.SLEMContext(context.Background(), opt)
+}
+
+// SLEMContext is SLEM with cancellation, threaded through the
+// underlying Lanczos/power iterations.
+func (c *Chain) SLEMContext(ctx context.Context, opt spectral.Options) (*spectral.Estimate, error) {
 	op, err := spectral.NewWeightedOperator(c.g, c.weights)
 	if err != nil {
 		return nil, err
 	}
-	est, err := spectral.SLEMOf(op, opt)
+	est, err := spectral.SLEMOfContext(ctx, op, opt)
 	if err != nil {
 		return nil, err
 	}

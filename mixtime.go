@@ -1,6 +1,7 @@
 package mixtime
 
 import (
+	"context"
 	"io"
 	"math/rand/v2"
 
@@ -156,6 +157,18 @@ type Measurement = core.Measurement
 // traces.
 func Measure(g *Graph, opt Options) (*Measurement, error) { return core.Measure(g, opt) }
 
+// MeasureContext is Measure with cancellation: the SLEM iteration and
+// every trace propagation check ctx, so a cancelled or expired
+// context aborts promptly with an error wrapping ctx.Err().
+func MeasureContext(ctx context.Context, g *Graph, opt Options) (*Measurement, error) {
+	return core.MeasureContext(ctx, g, opt)
+}
+
+// DefaultOptions returns the canonical measurement options, including
+// the conventional seed. A zero-valued Options is also usable: every
+// field but Seed is defaulted, and Seed 0 is a valid seed.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
 // Chain is the random walk on a graph as a Markov chain.
 type Chain = markov.Chain
 
@@ -189,9 +202,21 @@ type SpectralOptions = spectral.Options
 // transition matrix (Lanczos with power-iteration fallback).
 func SLEM(g *Graph, opt SpectralOptions) (*SpectralEstimate, error) { return spectral.SLEM(g, opt) }
 
+// SLEMContext is SLEM with cancellation threaded into the Lanczos and
+// power iterations.
+func SLEMContext(ctx context.Context, g *Graph, opt SpectralOptions) (*SpectralEstimate, error) {
+	return spectral.SLEMContext(ctx, g, opt)
+}
+
 // SLEMPower estimates µ by deflated power iteration only.
 func SLEMPower(g *Graph, opt SpectralOptions) (*SpectralEstimate, error) {
 	return spectral.SLEMPower(g, opt)
+}
+
+// SLEMPowerContext is SLEMPower with cancellation checked every
+// matrix-vector product.
+func SLEMPowerContext(ctx context.Context, g *Graph, opt SpectralOptions) (*SpectralEstimate, error) {
+	return spectral.SLEMPowerContext(ctx, g, opt)
 }
 
 // SpectralProfile returns the k largest eigenvalues of P below
