@@ -11,6 +11,7 @@ package mixtime_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand/v2"
 	"testing"
 
@@ -80,6 +81,94 @@ func BenchmarkSLEMLanczos(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(float64(est.Iterations), "matvecs")
 		}
+	}
+}
+
+// largeAblationGraph is the facebook-A substitute at a scale whose
+// adjacency (~2M entries) is well past the parallel matvec gate —
+// the regime the sharded kernels exist for.
+func largeAblationGraph() *mixtime.Graph {
+	d, err := mixtime.DatasetByName("facebook-A")
+	if err != nil {
+		panic(err)
+	}
+	return d.Generate(0.05, 1)
+}
+
+// BenchmarkStepBlock measures the SpMV→SpMM transformation: one
+// blocked step serves B source distributions per CSR pass, so the
+// per-neighbor index loads are amortized across the block. The
+// ns/source metric is the per-source cost; B=1 is the sequential
+// baseline it must beat.
+func BenchmarkStepBlock(b *testing.B) {
+	g := ablationGraph()
+	c, err := markov.New(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumNodes()
+	for _, width := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("B=%d", width), func(b *testing.B) {
+			p := make([]float64, n*width)
+			q := make([]float64, n*width)
+			scratch := make([]float64, n*width)
+			for j := 0; j < width; j++ {
+				p[j*width+j] = 1 // source j starts at vertex j
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.StepBlock(q, p, width, scratch)
+				p, q = q, p
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(width),
+				"ns/source")
+		})
+	}
+}
+
+// BenchmarkTraceSampleBlocked measures the full blocked trace sampler
+// the experiment drivers run on, per-source, against the per-source
+// sequential path (B=1).
+func BenchmarkTraceSampleBlocked(b *testing.B) {
+	g := ablationGraph()
+	c, err := markov.New(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	sources := markov.SampleSources(g, 16, rng)
+	for _, width := range []int{1, 8} {
+		b.Run(fmt.Sprintf("B=%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.TraceSampleBlocked(sources, 50, width)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(sources)),
+				"ns/source")
+		})
+	}
+}
+
+// BenchmarkApplyParallel measures the row-sharded symmetric matvec on
+// a graph large enough to clear the parallel gate.
+func BenchmarkApplyParallel(b *testing.B) {
+	g := largeAblationGraph()
+	op, err := spectral.NewOperator(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := op.Dim()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	dst := make([]float64, n)
+	scratch := make([]float64, n)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				op.ApplyParallel(dst, x, scratch, workers)
+			}
+		})
 	}
 }
 

@@ -19,6 +19,7 @@
 //	paperfigs -timeout 2m            # cancel everything at the deadline
 //	paperfigs -csv out/ -json out/   # also write out/<id>.{csv,json}
 //	paperfigs -scale 0.01 -sources 1000 -seed 7
+//	paperfigs -block 16 -workers 2   # propagation block size, kernel workers
 //
 // IDs: T1, F1–F8, X1–X7. Legacy names: table1, fig1..fig8, attack,
 // conductance, whanau, trust, detection, defenses, whanau-lookup.
@@ -44,6 +45,8 @@ func main() {
 	sources := flag.Int("sources", runner.DefaultSources, "sampled sources per graph")
 	maxWalk := flag.Int("maxwalk", runner.DefaultMaxWalk, "maximum propagated walk length")
 	seed := flag.Uint64("seed", runner.DefaultSeed, "random seed")
+	block := flag.Int("block", runner.DefaultBlockSize, "sources propagated per blocked kernel pass")
+	workers := flag.Int("workers", 0, "kernel worker goroutines (0 = auto, 1 = sequential)")
 	only := flag.String("only", "", "comma-separated subset (IDs like T1,F3 or legacy names)")
 	jobs := flag.Int("jobs", 1, "experiments to run in parallel (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
@@ -66,6 +69,8 @@ func main() {
 		MaxWalk:     *maxWalk,
 		Seed:        *seed,
 		SpectralTol: runner.DefaultSpectralTol,
+		BlockSize:   *block,
+		Workers:     *workers,
 	}
 	var keys []string
 	if *only != "" {

@@ -48,9 +48,15 @@ type Options struct {
 	// KeepWhole skips largest-component extraction; the graph must
 	// already be connected.
 	KeepWhole bool
-	// Workers sets the trace-propagation parallelism (0 = GOMAXPROCS,
-	// 1 = sequential).
+	// Workers sets the kernel parallelism: blocked-trace fan-out and
+	// row-sharded spectral matvecs (0 = GOMAXPROCS where the graph is
+	// large enough to amortize it, 1 = sequential). Results are
+	// byte-identical for any value.
 	Workers int
+	// BlockSize is the number of source distributions propagated per
+	// blocked CSR pass (default runner.DefaultBlockSize); 1 degenerates
+	// to per-source matvecs. Traces are byte-identical for any value.
+	BlockSize int
 	// Progress, if non-nil, is called as long stages advance: stage is
 	// "spectral" (done = operator iterations so far, total = 0) or
 	// "sampling" (done of total sources traced). Calls are serialized.
@@ -78,6 +84,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SpectralTol <= 0 {
 		o.SpectralTol = runner.DefaultSpectralTol
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = runner.DefaultBlockSize
 	}
 	// Seed is deliberately not defaulted here: 0 is a valid PCG seed
 	// and rewriting it would make the zero seed unusable.
@@ -140,7 +149,8 @@ func MeasureContext(ctx context.Context, g *graph.Graph, opt Options) (*Measurem
 	m.Chain = chain
 
 	if !opt.SkipSpectral {
-		est, err := spectral.SLEMContext(ctx, component, spectral.Options{Tol: opt.SpectralTol, Seed: opt.Seed})
+		est, err := spectral.SLEMContext(ctx, component, spectral.Options{
+			Tol: opt.SpectralTol, Seed: opt.Seed, Workers: opt.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -168,7 +178,7 @@ func MeasureContext(ctx context.Context, g *graph.Graph, opt Options) (*Measurem
 		if opt.Progress != nil {
 			onTrace = func(done, total int) { opt.Progress("sampling", done, total) }
 		}
-		traces, err := chain.TraceSampleParallelContext(ctx, m.Sources, opt.MaxWalk, opt.Workers, onTrace)
+		traces, err := chain.TraceSampleBlockedContext(ctx, m.Sources, opt.MaxWalk, opt.BlockSize, opt.Workers, onTrace)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}

@@ -64,7 +64,8 @@ func Figure6Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Fig
 			return nil, fmt.Errorf("experiments: trim level %d leaves %d nodes at scale %v",
 				level, lcc.NumNodes(), cfg.Scale)
 		}
-		est, err := spectral.SLEMContext(ctx, lcc, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
+		est, err := spectral.SLEMContext(ctx, lcc, spectral.Options{
+			Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: dblp-%d: %w", level, err)
 		}
@@ -85,7 +86,7 @@ func Figure6Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Fig
 		}
 		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(level)))
 		sources := markov.SampleSources(lcc, cfg.Sources, rng)
-		traces, err := chain.TraceSampleParallelContext(ctx, sources, cfg.MaxWalk, 1, nil)
+		traces, err := chain.TraceSampleBlockedContext(ctx, sources, cfg.MaxWalk, cfg.BlockSize, cfg.Workers, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: dblp-%d: %w", level, err)
 		}

@@ -76,7 +76,8 @@ func Figure7Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Fig
 			sub, _ := graph.BFSSubgraph(full, start, size)
 			sub, _ = graph.LargestComponent(sub)
 
-			est, err := spectral.SLEMContext(ctx, sub, spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed})
+			est, err := spectral.SLEMContext(ctx, sub, spectral.Options{
+				Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%d: %w", name, paperSize, err)
 			}
@@ -85,7 +86,7 @@ func Figure7Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Fig
 				return nil, fmt.Errorf("experiments: %s/%d: %w", name, paperSize, err)
 			}
 			sources := markov.SampleSources(sub, cfg.Sources, rng)
-			traces, err := chain.TraceSampleParallelContext(ctx, sources, cfg.MaxWalk, 1, nil)
+			traces, err := chain.TraceSampleBlockedContext(ctx, sources, cfg.MaxWalk, cfg.BlockSize, cfg.Workers, nil)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%d: %w", name, paperSize, err)
 			}

@@ -46,6 +46,8 @@ func measurePhysics(ctx context.Context, name string, cfg Config, obs runner.Obs
 		MaxWalk:     cfg.MaxWalk,
 		SpectralTol: cfg.SpectralTol,
 		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
+		BlockSize:   cfg.BlockSize,
 		Progress:    progress,
 	})
 }

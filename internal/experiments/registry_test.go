@@ -88,6 +88,39 @@ func TestRegistryDeterminism(t *testing.T) {
 	}
 }
 
+// TestRegistryKernelKnobDeterminism checks the PR 3 kernel guarantee
+// end-to-end: the blocked propagation and sharded matvec preserve
+// per-row summation order, so any BlockSize/Workers combination
+// renders byte-identically. F3 exercises the trace path, T1 the
+// spectral path.
+func TestRegistryKernelKnobDeterminism(t *testing.T) {
+	subset := []string{"T1", "F3"}
+	render := func(blockSize, workers int) string {
+		cfg := tiny
+		cfg.BlockSize = blockSize
+		cfg.Workers = workers
+		r := &runner.Runner{Jobs: 1}
+		report, err := r.Run(context.Background(), cfg, subset...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, e := range report.Experiments {
+			b.WriteString(e.ID)
+			b.WriteByte('\n')
+			b.WriteString(e.Result.Render())
+		}
+		return b.String()
+	}
+	base := render(1, 1) // per-source sequential reference
+	for _, knobs := range [][2]int{{0, 0}, {4, 1}, {8, 2}, {16, 4}, {3, 3}} {
+		if got := render(knobs[0], knobs[1]); got != base {
+			t.Errorf("BlockSize=%d Workers=%d renders differently from sequential",
+				knobs[0], knobs[1])
+		}
+	}
+}
+
 // TestRegistryCancellation drives a real registered experiment with a
 // pre-cancelled context: the driver must notice and surface an error
 // wrapping context.Canceled instead of computing the artifact.

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// shardTestGraph builds a connected graph with a deliberately skewed
+// degree profile: a hub wired to everything plus a random tree.
+func shardTestGraph(n int, seed uint64) *Graph {
+	rng := rand.New(rand.NewPCG(seed, 99))
+	b := NewBuilder(0)
+	for i := 1; i < n; i++ {
+		b.AddEdge(NodeID(rng.IntN(i)), NodeID(i))
+	}
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, NodeID(i)) // hub
+	}
+	return b.Build()
+}
+
+func TestShardPlanCoversAllVertices(t *testing.T) {
+	g := shardTestGraph(137, 3)
+	for _, shards := range []int{1, 2, 3, 7, 16, 137, 1000} {
+		p := NewShardPlan(g, shards)
+		if p.NumShards() < 1 {
+			t.Fatalf("shards=%d: plan has %d shards", shards, p.NumShards())
+		}
+		next := 0
+		for i := 0; i < p.NumShards(); i++ {
+			lo, hi := p.Bounds(i)
+			if lo != next {
+				t.Fatalf("shards=%d: shard %d starts at %d, want %d", shards, i, lo, next)
+			}
+			if hi < lo {
+				t.Fatalf("shards=%d: shard %d is [%d, %d)", shards, i, lo, hi)
+			}
+			next = hi
+		}
+		if next != g.NumNodes() {
+			t.Fatalf("shards=%d: plan ends at %d, want %d", shards, next, g.NumNodes())
+		}
+	}
+}
+
+func TestShardPlanBalancesEdges(t *testing.T) {
+	// On a uniform-degree graph every shard should hold close to
+	// total/shards adjacency entries.
+	n := 400
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(NodeID(i), NodeID((i+1)%n)) // ring: degree 2 everywhere
+	}
+	g := b.Build()
+	shards := 8
+	p := NewShardPlan(g, shards)
+	total := 2 * int(g.NumEdges())
+	ideal := total / shards
+	for i := 0; i < p.NumShards(); i++ {
+		lo, hi := p.Bounds(i)
+		var adj int
+		for v := lo; v < hi; v++ {
+			adj += g.Degree(NodeID(v))
+		}
+		// Contiguity can misplace at most one vertex's adjacency (here
+		// degree 2) per boundary.
+		if adj < ideal-4 || adj > ideal+4 {
+			t.Fatalf("shard %d holds %d adjacency entries, want ≈%d", i, adj, ideal)
+		}
+	}
+}
+
+func TestShardPlanSkewedHub(t *testing.T) {
+	// A hub with more than 1/shards of all edges forces empty shards;
+	// the plan must stay valid and Do must still cover every vertex.
+	g := shardTestGraph(100, 7)
+	p := NewShardPlan(g, 10)
+	covered := make([]bool, g.NumNodes())
+	p.Do(1, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			covered[v] = true
+		}
+	})
+	for v, ok := range covered {
+		if !ok {
+			t.Fatalf("vertex %d not covered", v)
+		}
+	}
+}
+
+func TestShardPlanDoParallel(t *testing.T) {
+	g := shardTestGraph(211, 11)
+	p := NewShardPlan(g, 16)
+	for _, workers := range []int{2, 4, 32} {
+		var mu sync.Mutex
+		count := make([]int, g.NumNodes())
+		p.Do(workers, func(lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for v := lo; v < hi; v++ {
+				count[v]++
+			}
+		})
+		for v, c := range count {
+			if c != 1 {
+				t.Fatalf("workers=%d: vertex %d visited %d times", workers, v, c)
+			}
+		}
+	}
+}
+
+func TestShardPlanEmptyGraph(t *testing.T) {
+	p := NewShardPlan(&Graph{}, 4)
+	if p.NumShards() != 0 {
+		// A zero-vertex plan has a single [0,0) bound pair at most; Do
+		// must simply not call fn.
+		for i := 0; i < p.NumShards(); i++ {
+			if lo, hi := p.Bounds(i); lo != hi {
+				t.Fatalf("empty graph shard [%d, %d)", lo, hi)
+			}
+		}
+	}
+	called := false
+	p.Do(4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("Do called fn on empty graph")
+	}
+}
+
+func TestAdjacencyOffset(t *testing.T) {
+	g := shardTestGraph(60, 13)
+	if g.AdjacencyOffset(0) != 0 {
+		t.Fatalf("offset(0) = %d", g.AdjacencyOffset(0))
+	}
+	for v := 0; v < g.NumNodes()-1; v++ {
+		d := g.AdjacencyOffset(NodeID(v+1)) - g.AdjacencyOffset(NodeID(v))
+		if int(d) != g.Degree(NodeID(v)) {
+			t.Fatalf("offset delta at %d = %d, want degree %d", v, d, g.Degree(NodeID(v)))
+		}
+	}
+}

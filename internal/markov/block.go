@@ -1,0 +1,301 @@
+package markov
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mixtime/internal/graph"
+)
+
+// DefaultBlockSize is the number of source distributions a blocked
+// propagation serves per CSR pass when the caller does not choose a
+// width. Eight doubles-per-source fills one 64-byte cache line, so
+// every adjacency index loaded during the pass is amortized across a
+// full line of right-hand sides.
+const DefaultBlockSize = 8
+
+// StepBlock advances width distributions by one walk step in a single
+// pass over the CSR adjacency — the SpMV→SpMM transformation. dst and
+// p are flat row-major n×width buffers: entry (v, j) of distribution
+// j lives at p[v*width+j], so the per-neighbor loads the sequential
+// Step pays once per source are paid once per block. scratch, if at
+// least n*width long, avoids an allocation.
+//
+// Each column accumulates its row sums in the same neighbor order as
+// Step, so column j of dst is byte-identical to running Step on
+// column j alone.
+func (c *Chain) StepBlock(dst, p []float64, width int, scratch []float64) {
+	n := c.g.NumNodes()
+	if width == 1 {
+		c.Step(dst[:n], p[:n], scratch)
+		return
+	}
+	size := n * width
+	w := scratch
+	if len(w) < size {
+		w = make([]float64, size)
+	} else {
+		w = w[:size]
+	}
+	for v := 0; v < n; v++ {
+		inv := c.invDeg[v]
+		row := p[v*width : (v+1)*width]
+		out := w[v*width : (v+1)*width]
+		for j, x := range row {
+			out[j] = x * inv
+		}
+	}
+	c.stepBlockRows(dst, p, w, width, 0, n)
+}
+
+// stepBlockRows computes the blocked rows [lo, hi) from the
+// pre-scaled w = p/deg. Like stepRows, rows are independent and each
+// column's summation order matches the sequential kernel.
+func (c *Chain) stepBlockRows(dst, p, w []float64, width, lo, hi int) {
+	if width == 8 {
+		c.stepBlockRows8(dst, p, w, lo, hi)
+		return
+	}
+	for v := lo; v < hi; v++ {
+		out := dst[v*width : (v+1)*width]
+		for j := range out {
+			out[j] = 0
+		}
+		for _, u := range c.g.Neighbors(graph.NodeID(v)) {
+			col := w[int(u)*width : int(u)*width+width]
+			for j, x := range col {
+				out[j] += x
+			}
+		}
+		if c.lazy {
+			row := p[v*width : (v+1)*width]
+			for j := range out {
+				out[j] = 0.5*row[j] + 0.5*out[j]
+			}
+		}
+	}
+}
+
+// stepBlockRows8 is stepBlockRows fixed at the default width of 8
+// (one cache line of float64): the eight column accumulators live in
+// registers instead of a memory-resident out row, and the
+// slice-to-array conversions pay one bounds check per neighbor
+// instead of eight. Each column still sums its neighbors in CSR
+// order, so the output is byte-identical to the generic kernel.
+func (c *Chain) stepBlockRows8(dst, p, w []float64, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		for _, u := range c.g.Neighbors(graph.NodeID(v)) {
+			col := (*[8]float64)(w[int(u)*8:])
+			s0 += col[0]
+			s1 += col[1]
+			s2 += col[2]
+			s3 += col[3]
+			s4 += col[4]
+			s5 += col[5]
+			s6 += col[6]
+			s7 += col[7]
+		}
+		out := (*[8]float64)(dst[v*8:])
+		if c.lazy {
+			row := (*[8]float64)(p[v*8:])
+			out[0] = 0.5*row[0] + 0.5*s0
+			out[1] = 0.5*row[1] + 0.5*s1
+			out[2] = 0.5*row[2] + 0.5*s2
+			out[3] = 0.5*row[3] + 0.5*s3
+			out[4] = 0.5*row[4] + 0.5*s4
+			out[5] = 0.5*row[5] + 0.5*s5
+			out[6] = 0.5*row[6] + 0.5*s6
+			out[7] = 0.5*row[7] + 0.5*s7
+		} else {
+			out[0], out[1], out[2], out[3] = s0, s1, s2, s3
+			out[4], out[5], out[6], out[7] = s4, s5, s6, s7
+		}
+	}
+}
+
+// blockTV writes, for each of the width columns of p, the total
+// variation distance to π into tv[:width]. One row-major pass serves
+// every column; per-column accumulation order matches TVDistance.
+func (c *Chain) blockTV(p []float64, width int, tv []float64) {
+	tv = tv[:width]
+	for j := range tv {
+		tv[j] = 0
+	}
+	for v, pv := range c.pi {
+		row := p[v*width : (v+1)*width]
+		for j, x := range row {
+			d := x - pv
+			if d < 0 {
+				d = -d
+			}
+			tv[j] += d
+		}
+	}
+	for j := range tv {
+		tv[j] /= 2
+	}
+}
+
+// blockBuffers is one worker's reusable propagation state: two
+// n×width distribution buffers, the scaling scratch, and the
+// per-column TV accumulator.
+type blockBuffers struct {
+	p, q, w, tv []float64
+}
+
+func newBlockBuffers(n, width int) *blockBuffers {
+	return &blockBuffers{
+		p:  make([]float64, n*width),
+		q:  make([]float64, n*width),
+		w:  make([]float64, n*width),
+		tv: make([]float64, width),
+	}
+}
+
+// traceBlock propagates the given sources together as one block of
+// width len(sources), recording each column's TV curve after every
+// step. buf must have capacity for at least that width.
+func (c *Chain) traceBlock(ctx context.Context, sources []graph.NodeID, maxT int, buf *blockBuffers) ([]*Trace, error) {
+	n := c.g.NumNodes()
+	width := len(sources)
+	p := buf.p[:n*width]
+	q := buf.q[:n*width]
+	for i := range p {
+		p[i] = 0
+	}
+	traces := make([]*Trace, width)
+	for j, s := range sources {
+		p[int(s)*width+j] = 1
+		traces[j] = &Trace{Source: s, TV: make([]float64, maxT)}
+	}
+	for t := 0; t < maxT; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("markov: blocked trace (%d sources) cancelled at step %d: %w", width, t, err)
+		}
+		c.StepBlock(q, p, width, buf.w)
+		p, q = q, p
+		c.blockTV(p, width, buf.tv)
+		for j := range traces {
+			traces[j].TV[t] = buf.tv[j]
+		}
+	}
+	return traces, nil
+}
+
+// TraceBlock runs TraceFrom for all the given sources in one blocked
+// pass: every step scans the adjacency once and advances all
+// len(sources) distributions. The traces are byte-identical to
+// per-source TraceFrom runs.
+func (c *Chain) TraceBlock(sources []graph.NodeID, maxT int) []*Trace {
+	traces, _ := c.traceBlock(context.Background(), sources, maxT,
+		newBlockBuffers(c.g.NumNodes(), len(sources)))
+	return traces
+}
+
+// TraceSampleBlocked is TraceSample computed blockSize sources at a
+// time (DefaultBlockSize when blockSize <= 0); results are in source
+// order and byte-identical to the sequential ones.
+func (c *Chain) TraceSampleBlocked(sources []graph.NodeID, maxT, blockSize int) []*Trace {
+	traces, _ := c.TraceSampleBlockedContext(context.Background(), sources, maxT, blockSize, 1, nil)
+	return traces
+}
+
+// TraceSampleBlockedContext is the blocked, cancellable, observable
+// trace sampler the experiment drivers run on: sources are cut into
+// blocks of blockSize (DefaultBlockSize when <= 0), each block
+// propagates through StepBlock, and workers goroutines claim blocks
+// from an atomic counter (workers <= 0 uses GOMAXPROCS). Every trace
+// is byte-identical to a sequential TraceFrom, for any blockSize and
+// any workers.
+//
+// The pool stops claiming blocks once ctx is done and in-flight
+// blocks abort at their next step; the error then wraps ctx.Err().
+// onTrace, if non-nil, is called after each completed block with the
+// cumulative (done, total) source counts — calls are serialized and
+// monotonic, matching the TraceSampleParallelContext contract.
+func (c *Chain) TraceSampleBlockedContext(ctx context.Context, sources []graph.NodeID, maxT, blockSize, workers int, onTrace func(done, total int)) ([]*Trace, error) {
+	total := len(sources)
+	if total == 0 {
+		return []*Trace{}, nil
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize > total {
+		blockSize = total
+	}
+	blocks := (total + blockSize - 1) / blockSize
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > blocks {
+		workers = blocks
+	}
+	n := c.g.NumNodes()
+	traces := make([]*Trace, total)
+
+	if workers <= 1 {
+		buf := newBlockBuffers(n, blockSize)
+		for b := 0; b < blocks; b++ {
+			lo := b * blockSize
+			hi := lo + blockSize
+			if hi > total {
+				hi = total
+			}
+			trs, err := c.traceBlock(ctx, sources[lo:hi], maxT, buf)
+			if err != nil {
+				return nil, fmt.Errorf("markov: blocked trace sampling cancelled after %d of %d sources: %w", lo, total, err)
+			}
+			copy(traces[lo:hi], trs)
+			if onTrace != nil {
+				onTrace(hi, total)
+			}
+		}
+		return traces, nil
+	}
+
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		done int
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			buf := newBlockBuffers(n, blockSize)
+			for {
+				b := int(next.Add(1) - 1)
+				if b >= blocks || ctx.Err() != nil {
+					return
+				}
+				lo := b * blockSize
+				hi := lo + blockSize
+				if hi > total {
+					hi = total
+				}
+				trs, err := c.traceBlock(ctx, sources[lo:hi], maxT, buf)
+				if err != nil {
+					return // ctx cancelled; surfaced after Wait
+				}
+				copy(traces[lo:hi], trs)
+				mu.Lock()
+				done += hi - lo
+				if onTrace != nil {
+					onTrace(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("markov: blocked trace sampling cancelled after %d of %d sources: %w", done, total, err)
+	}
+	return traces, nil
+}

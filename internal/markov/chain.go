@@ -11,9 +11,17 @@ package markov
 import (
 	"errors"
 	"math"
+	"runtime"
 
 	"mixtime/internal/graph"
 )
+
+// minParallelAdj is the adjacency length (2m) below which the
+// row-sharded kernels fall back to the sequential ones when the
+// caller asks for automatic parallelism: under it a matvec costs a
+// few tens of microseconds and goroutine fan-out overhead dominates.
+// An explicit workers > 1 always shards.
+const minParallelAdj = 1 << 15
 
 // Chain is the random walk on a fixed graph. The zero value is not
 // usable; construct with New. A Chain is immutable and safe for
@@ -22,6 +30,7 @@ type Chain struct {
 	g      *graph.Graph
 	invDeg []float64
 	pi     []float64
+	plan   *graph.ShardPlan
 	lazy   bool
 }
 
@@ -59,6 +68,10 @@ func New(g *graph.Graph, opts ...Option) (*Chain, error) {
 		c.invDeg[v] = 1 / float64(d)
 		c.pi[v] = float64(d) / twoM
 	}
+	// Edge-balanced shard plan for the row-sharded kernels, computed
+	// once per chain. Oversubscribing the core count keeps workers
+	// busy when shard costs drift apart.
+	c.plan = graph.NewShardPlan(g, 4*runtime.GOMAXPROCS(0))
 	return c, nil
 }
 
@@ -88,18 +101,29 @@ func (c *Chain) IsErgodic() bool {
 
 // Step computes dst = p·P for the plain walk, or p·(I+P)/2 for the
 // lazy walk. dst and p must have length NumNodes and must not alias.
-// scratch, if non-nil and of the right length, avoids an allocation.
+// scratch, if at least NumNodes long, avoids an allocation (longer
+// pooled buffers are resliced, not rejected).
 func (c *Chain) Step(dst, p, scratch []float64) {
 	n := c.g.NumNodes()
 	w := scratch
-	if len(w) != n {
+	if len(w) < n {
 		w = make([]float64, n)
+	} else {
+		w = w[:n]
 	}
 	for v := 0; v < n; v++ {
 		w[v] = p[v] * c.invDeg[v]
 	}
+	c.stepRows(dst, p, w, 0, n)
+}
+
+// stepRows computes dst[v] for v in [lo, hi) from the pre-scaled
+// w = p/deg. Rows are independent, so any partition of the vertex
+// range produces bytes identical to a full sequential pass — the
+// invariant StepParallel and the sharded tests rely on.
+func (c *Chain) stepRows(dst, p, w []float64, lo, hi int) {
 	if c.lazy {
-		for v := 0; v < n; v++ {
+		for v := lo; v < hi; v++ {
 			var s float64
 			for _, u := range c.g.Neighbors(graph.NodeID(v)) {
 				s += w[u]
@@ -108,13 +132,50 @@ func (c *Chain) Step(dst, p, scratch []float64) {
 		}
 		return
 	}
-	for v := 0; v < n; v++ {
+	for v := lo; v < hi; v++ {
 		var s float64
 		for _, u := range c.g.Neighbors(graph.NodeID(v)) {
 			s += w[u]
 		}
 		dst[v] = s
 	}
+}
+
+// StepParallel is Step with the row loop sharded across the chain's
+// edge-balanced plan: workers goroutines claim contiguous vertex
+// ranges whose adjacency lengths are near-equal, so each pays for the
+// edges it scans rather than the vertices it owns. Per-row summation
+// order is unchanged, so the output is byte-identical to Step.
+//
+// workers <= 0 uses GOMAXPROCS but stays sequential on graphs too
+// small to amortize the fan-out; workers == 1 is Step; an explicit
+// workers > 1 always shards.
+func (c *Chain) StepParallel(dst, p, scratch []float64, workers int) {
+	n := c.g.NumNodes()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if 2*c.g.NumEdges() < minParallelAdj {
+			workers = 1
+		}
+	}
+	if workers <= 1 {
+		c.Step(dst, p, scratch)
+		return
+	}
+	w := scratch
+	if len(w) < n {
+		w = make([]float64, n)
+	} else {
+		w = w[:n]
+	}
+	c.plan.Do(workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			w[v] = p[v] * c.invDeg[v]
+		}
+	})
+	c.plan.Do(workers, func(lo, hi int) {
+		c.stepRows(dst, p, w, lo, hi)
+	})
 }
 
 // Delta returns the point distribution concentrated at src (π⁽ⁱ⁾ in

@@ -9,43 +9,62 @@ import (
 // MCTrace estimates the TV-distance curve from src by simulating
 // walks random walks for maxT steps and comparing the empirical
 // endpoint distribution with π after every step. It is the
-// Monte-Carlo alternative to exact propagation: cheaper per step on
-// huge graphs (O(walks) vs O(m)) but noisy — the TV estimate is biased
-// upward by sampling error of order √(n/walks), so exact propagation
-// is the method of record (and what the paper uses). Kept as an
-// ablation and as a cross-check.
+// Monte-Carlo alternative to exact propagation: each step costs
+// O(walks) — the endpoint counts and the TV sum are maintained
+// incrementally as walkers move, after an O(n) setup — so it is
+// cheaper per step than exact propagation's O(m) on huge graphs, but
+// noisy: the TV estimate is biased upward by sampling error of order
+// √(n/walks), so exact propagation is the method of record (and what
+// the paper uses). Kept as an ablation and as a cross-check.
 func (c *Chain) MCTrace(src graph.NodeID, maxT, walks int, rng *rand.Rand) *Trace {
 	n := c.g.NumNodes()
 	pos := make([]graph.NodeID, walks)
 	for i := range pos {
 		pos[i] = src
 	}
-	counts := make([]float64, n)
-	tv := make([]float64, maxT)
 	invWalks := 1 / float64(walks)
+	// counts holds the walker count per vertex, term the vertex's
+	// |counts/walks − π| contribution, and sum the running Σ term — so
+	// a walker moving a→b only recomputes the two affected terms.
+	counts := make([]float64, n)
+	counts[src] = float64(walks)
+	term := make([]float64, n)
+	var sum float64
+	for v := 0; v < n; v++ {
+		d := counts[v]*invWalks - c.pi[v]
+		if d < 0 {
+			d = -d
+		}
+		term[v] = d
+		sum += d
+	}
+	tv := make([]float64, maxT)
 	for t := 0; t < maxT; t++ {
 		for i, v := range pos {
 			if c.lazy && rng.IntN(2) == 0 {
 				continue
 			}
 			adj := c.g.Neighbors(v)
-			pos[i] = adj[rng.IntN(len(adj))]
-		}
-		for i := range counts {
-			counts[i] = 0
-		}
-		for _, v := range pos {
-			counts[v]++
-		}
-		var s float64
-		for v := 0; v < n; v++ {
-			d := counts[v]*invWalks - c.pi[v]
-			if d < 0 {
-				d = -d
+			u := adj[rng.IntN(len(adj))]
+			pos[i] = u
+			sum -= term[v] + term[u]
+			counts[v]--
+			counts[u]++
+			dv := counts[v]*invWalks - c.pi[v]
+			if dv < 0 {
+				dv = -dv
 			}
-			s += d
+			du := counts[u]*invWalks - c.pi[u]
+			if du < 0 {
+				du = -du
+			}
+			term[v], term[u] = dv, du
+			sum += dv + du
 		}
-		tv[t] = s / 2
+		if sum < 0 {
+			sum = 0 // clamp float noise from incremental updates
+		}
+		tv[t] = sum / 2
 	}
 	return &Trace{Source: src, TV: tv}
 }

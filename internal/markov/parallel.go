@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mixtime/internal/graph"
 )
@@ -50,9 +51,9 @@ func (c *Chain) TraceSampleParallelContext(ctx context.Context, sources []graph.
 	}
 	traces := make([]*Trace, total)
 	var (
-		next int
+		next atomic.Int64 // lock-free source claiming
 		done int
-		mu   sync.Mutex
+		mu   sync.Mutex // serializes done/onTrace only
 		wg   sync.WaitGroup
 	)
 	wg.Add(workers)
@@ -60,10 +61,7 @@ func (c *Chain) TraceSampleParallelContext(ctx context.Context, sources []graph.
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1) - 1)
 				if i >= total || ctx.Err() != nil {
 					return
 				}

@@ -24,6 +24,11 @@ const (
 	DefaultMaxWalk = 500
 	// DefaultSpectralTol is the SLEM eigenvalue tolerance.
 	DefaultSpectralTol = 1e-7
+	// DefaultBlockSize is the number of source distributions a blocked
+	// trace propagation (SpMM) serves per CSR pass: eight doubles per
+	// source fills one 64-byte cache line, amortizing every adjacency
+	// index load across a full line of right-hand sides.
+	DefaultBlockSize = 8
 )
 
 // Config scales and seeds an experiment run. It is the uniform
@@ -50,6 +55,17 @@ type Config struct {
 	MaxWalk int
 	// SpectralTol is the SLEM tolerance (default DefaultSpectralTol).
 	SpectralTol float64
+	// BlockSize is the number of source distributions propagated per
+	// blocked CSR pass (default DefaultBlockSize); 1 degenerates to
+	// per-source matvecs. Traces are byte-identical for any value.
+	BlockSize int
+	// Workers bounds the kernel parallelism inside one experiment:
+	// blocked-trace fan-out and row-sharded matvecs (0 = GOMAXPROCS on
+	// graphs large enough to amortize it, 1 = sequential). Output is
+	// byte-identical for any value; combined with Runner.Jobs > 1 the
+	// pools can oversubscribe the cores, which wastes nothing but
+	// scheduling.
+	Workers int
 }
 
 // DefaultConfig returns the canonical configuration, including the
@@ -62,6 +78,7 @@ func DefaultConfig() Config {
 		Sources:     DefaultSources,
 		MaxWalk:     DefaultMaxWalk,
 		SpectralTol: DefaultSpectralTol,
+		BlockSize:   DefaultBlockSize,
 	}
 }
 
@@ -81,5 +98,10 @@ func (c Config) WithDefaults() Config {
 	if c.SpectralTol <= 0 {
 		c.SpectralTol = DefaultSpectralTol
 	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = DefaultBlockSize
+	}
+	// Workers is deliberately left alone: 0 means "GOMAXPROCS where it
+	// pays off", which is the default behaviour.
 	return c
 }

@@ -231,6 +231,8 @@ func TestConfigWithDefaultsLeavesSeedAlone(t *testing.T) {
 		Sources:     DefaultSources,
 		MaxWalk:     DefaultMaxWalk,
 		SpectralTol: DefaultSpectralTol,
+		BlockSize:   DefaultBlockSize,
+		Workers:     0, // zero means auto, not a sentinel to rewrite
 	}
 	if got != want {
 		t.Errorf("Config{}.WithDefaults() = %+v, want %+v", got, want)
@@ -239,7 +241,8 @@ func TestConfigWithDefaultsLeavesSeedAlone(t *testing.T) {
 		t.Errorf("DefaultConfig().Seed = %d, want %d", s, DefaultSeed)
 	}
 	// Explicit settings survive.
-	cfg := Config{Scale: 0.5, Seed: 42, Sources: 7, MaxWalk: 9, SpectralTol: 1e-3}
+	cfg := Config{Scale: 0.5, Seed: 42, Sources: 7, MaxWalk: 9, SpectralTol: 1e-3,
+		BlockSize: 16, Workers: 3}
 	if got := cfg.WithDefaults(); got != cfg {
 		t.Errorf("WithDefaults rewrote explicit fields: %+v", got)
 	}

@@ -82,7 +82,7 @@ func slemLanczosOp(ctx context.Context, op *Operator, opt Options) (*Estimate, e
 			return nil, fmt.Errorf("spectral: Lanczos cancelled at step %d: %w", k, err)
 		}
 		iters++
-		op.Apply(w, basis[k], scratch)
+		op.ApplyParallel(w, basis[k], scratch, opt.Workers)
 		a := linalg.Dot(basis[k], w)
 		alpha = append(alpha, a)
 
@@ -196,7 +196,7 @@ func lanczosTridiagonal(op *Operator, opt Options) (*linalg.Tridiag, error) {
 	w := make([]float64, n)
 	scratch := make([]float64, n)
 	for k := 0; k < maxK; k++ {
-		op.Apply(w, basis[k], scratch)
+		op.ApplyParallel(w, basis[k], scratch, opt.Workers)
 		a := linalg.Dot(basis[k], w)
 		alpha = append(alpha, a)
 		linalg.Axpy(-a, basis[k], w)

@@ -16,10 +16,18 @@ package spectral
 import (
 	"errors"
 	"math"
+	"runtime"
 
 	"mixtime/internal/graph"
 	"mixtime/internal/linalg"
 )
+
+// minParallelAdj is the adjacency length (2m) below which ApplyParallel
+// falls back to the sequential kernel when asked for automatic
+// parallelism: under it a matvec costs a few tens of microseconds and
+// goroutine fan-out overhead dominates. An explicit workers > 1
+// always shards.
+const minParallelAdj = 1 << 15
 
 // Operator is the symmetrized walk operator S = D^{-1/2} A D^{-1/2}
 // of a graph — or, when weights is set, S = D_w^{-1/2} W D_w^{-1/2}
@@ -30,6 +38,7 @@ type Operator struct {
 	invSqrtDeg []float64 // 1/√strength(v) (strength = degree unweighted)
 	v1         []float64 // unit top eigenvector √(strength/total)
 	weights    []float64 // CSR-aligned edge weights; nil = unweighted
+	plan       *graph.ShardPlan
 }
 
 // NewOperator builds the operator. The graph must be non-empty with
@@ -56,7 +65,15 @@ func NewOperator(g *graph.Graph) (*Operator, error) {
 		op.invSqrtDeg[v] = 1 / math.Sqrt(d)
 		op.v1[v] = math.Sqrt(d / twoM)
 	}
+	op.plan = newOperatorPlan(g)
 	return op, nil
+}
+
+// newOperatorPlan precomputes the edge-balanced shard plan the
+// row-sharded ApplyParallel kernel claims ranges from. Oversubscribing
+// the core count keeps workers busy when shard costs drift apart.
+func newOperatorPlan(g *graph.Graph) *graph.ShardPlan {
+	return graph.NewShardPlan(g, 4*runtime.GOMAXPROCS(0))
 }
 
 // Dim returns the operator dimension n.
@@ -70,20 +87,31 @@ func (op *Operator) Graph() *graph.Graph { return op.g }
 func (op *Operator) TopEigenvector() []float64 { return op.v1 }
 
 // Apply computes dst = S·x. dst and x must have length Dim and must
-// not alias. scratch, if non-nil with the right length, avoids an
-// allocation.
+// not alias. scratch, if at least Dim long, avoids an allocation
+// (longer pooled buffers are resliced, not rejected).
 func (op *Operator) Apply(dst, x, scratch []float64) {
 	n := op.Dim()
 	w := scratch
-	if len(w) != n {
+	if len(w) < n {
 		w = make([]float64, n)
+	} else {
+		w = w[:n]
 	}
 	for v := 0; v < n; v++ {
 		w[v] = x[v] * op.invSqrtDeg[v]
 	}
+	op.applyRows(dst, w, 0, n)
+}
+
+// applyRows computes dst[v] for v in [lo, hi) from the pre-scaled
+// w = D^{-1/2}x. Rows are independent and each row sums its neighbors
+// in CSR order, so any partition of the vertex range produces bytes
+// identical to a full sequential pass — the invariant ApplyParallel
+// relies on.
+func (op *Operator) applyRows(dst, w []float64, lo, hi int) {
 	if op.weights != nil {
-		idx := 0
-		for v := 0; v < n; v++ {
+		idx := op.g.AdjacencyOffset(graph.NodeID(lo))
+		for v := lo; v < hi; v++ {
 			var s float64
 			for _, u := range op.g.Neighbors(graph.NodeID(v)) {
 				s += op.weights[idx] * w[u]
@@ -93,13 +121,50 @@ func (op *Operator) Apply(dst, x, scratch []float64) {
 		}
 		return
 	}
-	for v := 0; v < n; v++ {
+	for v := lo; v < hi; v++ {
 		var s float64
 		for _, u := range op.g.Neighbors(graph.NodeID(v)) {
 			s += w[u]
 		}
 		dst[v] = s * op.invSqrtDeg[v]
 	}
+}
+
+// ApplyParallel is Apply with the row loop sharded across the
+// operator's edge-balanced plan: workers goroutines claim contiguous
+// vertex ranges of near-equal adjacency length, so each pays for the
+// edges it scans rather than the vertices it owns. Per-row summation
+// order is unchanged, so the output is byte-identical to Apply.
+//
+// workers <= 0 uses GOMAXPROCS but stays sequential on graphs too
+// small to amortize the fan-out; workers == 1 is Apply; an explicit
+// workers > 1 always shards.
+func (op *Operator) ApplyParallel(dst, x, scratch []float64, workers int) {
+	n := op.Dim()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if 2*op.g.NumEdges() < minParallelAdj {
+			workers = 1
+		}
+	}
+	if workers <= 1 {
+		op.Apply(dst, x, scratch)
+		return
+	}
+	w := scratch
+	if len(w) < n {
+		w = make([]float64, n)
+	} else {
+		w = w[:n]
+	}
+	op.plan.Do(workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			w[v] = x[v] * op.invSqrtDeg[v]
+		}
+	})
+	op.plan.Do(workers, func(lo, hi int) {
+		op.applyRows(dst, w, lo, hi)
+	})
 }
 
 // Deflate removes the v₁ component from x in place, confining

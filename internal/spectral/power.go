@@ -36,6 +36,12 @@ type Options struct {
 	MaxIter int
 	// Seed seeds the random starting vector (default 1).
 	Seed uint64
+	// Workers shards every matvec across the operator's edge-balanced
+	// plan: 0 uses GOMAXPROCS on graphs large enough to amortize the
+	// fan-out, 1 forces the sequential kernel, > 1 always shards.
+	// Sharding preserves per-row summation order, so estimates are
+	// byte-identical for any value.
+	Workers int
 }
 
 func (o Options) withDefaults(defaultIter int) Options {
@@ -84,7 +90,7 @@ func powerExtreme(ctx context.Context, op *Operator, shift, scale float64, opt O
 		if cerr := ctx.Err(); cerr != nil {
 			return 0, nil, iters, false, fmt.Errorf("spectral: power iteration cancelled at matvec %d: %w", iters, cerr)
 		}
-		op.Apply(sx, x, scratch)
+		op.ApplyParallel(sx, x, scratch, opt.Workers)
 		// y = (S + shift I)/scale · x
 		for i := range sx {
 			sx[i] = (sx[i] + shift*x[i]) / scale

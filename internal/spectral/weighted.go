@@ -60,6 +60,7 @@ func NewWeightedOperator(g *graph.Graph, weights []float64) (*Operator, error) {
 	for v := 0; v < n; v++ {
 		op.v1[v] = math.Sqrt(strength[v] / total)
 	}
+	op.plan = newOperatorPlan(g)
 	return op, nil
 }
 

@@ -1,0 +1,50 @@
+#!/bin/sh
+# bench.sh — the kernel benchmark harness: runs the propagation and
+# matvec kernel benchmarks (blocked SpMM at every width, the sharded
+# parallel matvec, and the pre-existing sequential baselines) and
+# writes a machine-readable snapshot to BENCH_PR3.json so kernel
+# regressions are diffable across commits. Run from anywhere inside
+# the repo; pass a different -benchtime via BENCHTIME.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-0.5s}"
+OUT="${OUT:-BENCH_PR3.json}"
+PATTERN='BenchmarkStepBlock|BenchmarkTraceSampleBlocked|BenchmarkApplyParallel|BenchmarkPropagationExact|BenchmarkSLEMPower|BenchmarkSLEMLanczos'
+
+echo "== go test -bench ($BENCHTIME per benchmark) =="
+raw=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" .)
+echo "$raw"
+
+echo "== writing $OUT =="
+echo "$raw" | awk -v out="$OUT" '
+	/^Benchmark/ {
+		name = $1
+		iters = $2
+		nsop = $3
+		extra = ""
+		# Optional custom metric pair, e.g. "14197 ns/source" or
+		# "53 matvecs", after the ns/op pair.
+		if (NF >= 6) {
+			extra = sprintf(",\n    \"%s\": %s", $6, $5)
+		}
+		rows[++n] = sprintf("  {\n    \"name\": \"%s\",\n    \"iterations\": %s,\n    \"ns_per_op\": %s%s\n  }", name, iters, nsop, extra)
+	}
+	END {
+		print "[" > out
+		for (i = 1; i <= n; i++)
+			print rows[i] (i < n ? "," : "") >> out
+		print "]" >> out
+	}
+'
+
+# The snapshot must be valid JSON for downstream tooling.
+if command -v python3 >/dev/null 2>&1; then
+	python3 -c "import json,sys; json.load(open('$OUT'))" || {
+		echo "bench.sh: $OUT is not valid JSON" >&2
+		exit 1
+	}
+fi
+
+echo "wrote $OUT"
