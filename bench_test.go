@@ -20,6 +20,7 @@ import (
 	"mixtime/internal/markov"
 	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
+	"mixtime/internal/telemetry"
 )
 
 // benchCfg keeps the per-iteration cost of the heavier drivers around
@@ -94,6 +95,38 @@ func largeAblationGraph() *mixtime.Graph {
 	}
 	return d.Generate(0.05, 1)
 }
+
+// benchStep runs the single-distribution CSR kernel with an optional
+// telemetry collector attached to the chain.
+func benchStep(b *testing.B, col *telemetry.Collector) {
+	g := ablationGraph()
+	var opts []markov.Option
+	if col != nil {
+		opts = append(opts, markov.WithCollector(col))
+	}
+	c, err := markov.New(g, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumNodes()
+	p := c.Delta(0)
+	q := make([]float64, n)
+	scratch := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(q, p, scratch)
+		p, q = q, p
+	}
+}
+
+// BenchmarkStep is the uninstrumented single-distribution kernel
+// baseline. BenchmarkStepCollector is the identical kernel with a
+// live telemetry collector; DESIGN.md §8's overhead contract says the
+// pair must stay within noise of each other, because counters are
+// bumped once per CSR pass, never per edge. bench.sh snapshots both,
+// so benchdiff flags a drift in either.
+func BenchmarkStep(b *testing.B)          { benchStep(b, nil) }
+func BenchmarkStepCollector(b *testing.B) { benchStep(b, telemetry.New()) }
 
 // BenchmarkStepBlock measures the SpMV→SpMM transformation: one
 // blocked step serves B source distributions per CSR pass, so the

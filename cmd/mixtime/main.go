@@ -3,6 +3,8 @@
 //
 // Usage:
 //
+//	mixtime [global flags] <subcommand> [flags] <graph>
+//
 //	mixtime info    <graph>
 //	mixtime slem    [-method lanczos|power] [-tol 1e-8] <graph>
 //	mixtime measure [-sources 100] [-maxwalk 200] [-eps 0.1,0.01] <graph>
@@ -11,6 +13,14 @@
 //	mixtime communities [-method louvain|lpa] <graph>
 //	mixtime rank    [-by pagerank|ppr|betweenness|closeness|degree] <graph>
 //	mixtime profile [-k 10] <graph>
+//
+// Global flags come before the subcommand and apply to any of them:
+//
+//	-cpuprofile f.pprof   write a CPU profile for the whole invocation
+//	-memprofile f.pprof   write a heap profile at exit
+//	-trace f.trace        write a runtime execution trace
+//
+// e.g. `mixtime -cpuprofile slem.pprof slem dataset:physics-1`.
 //
 // <graph> is an edge-list / binary file (".gz" ok), or a dataset
 // reference "dataset:<name>[:scale]" naming one of the paper's
@@ -32,42 +42,62 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	// Global flags precede the subcommand; flag parsing stops at the
+	// first non-flag argument, which is the subcommand name.
+	global := flag.NewFlagSet("mixtime", flag.ExitOnError)
+	global.Usage = usageExit
+	cpuProfile := global.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := global.String("memprofile", "", "write a heap profile to this file at exit")
+	traceFile := global.String("trace", "", "write a runtime execution trace to this file")
+	if err := global.Parse(os.Args[1:]); err != nil {
+		usageExit()
 	}
+	args := global.Args()
+	if len(args) < 1 {
+		usageExit()
+	}
+	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixtime:", err)
+		os.Exit(1)
+	}
+
 	// Interrupts cancel the context; the spectral iterations and trace
 	// sampling behind slem/measure check it and abort promptly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "info":
-		err = cmdInfo(os.Args[2:])
+		err = cmdInfo(args[1:])
 	case "slem":
-		err = cmdSLEM(ctx, os.Args[2:])
+		err = cmdSLEM(ctx, args[1:])
 	case "measure":
-		err = cmdMeasure(ctx, os.Args[2:])
+		err = cmdMeasure(ctx, args[1:])
 	case "trim":
-		err = cmdTrim(os.Args[2:])
+		err = cmdTrim(args[1:])
 	case "sample":
-		err = cmdSample(os.Args[2:])
+		err = cmdSample(args[1:])
 	case "communities":
-		err = cmdCommunities(os.Args[2:])
+		err = cmdCommunities(args[1:])
 	case "rank":
-		err = cmdRank(os.Args[2:])
+		err = cmdRank(args[1:])
 	case "profile":
-		err = cmdProfile(os.Args[2:])
+		err = cmdProfile(args[1:])
 	default:
-		usage()
+		usageExit()
 	}
+	// Flush profiles before the error exit so a failed run still
+	// yields usable profile data.
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mixtime:", err)
 		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mixtime <info|slem|measure|trim|sample|communities|rank|profile> [flags] <graph>
+func usageExit() {
+	fmt.Fprintln(os.Stderr, `usage: mixtime [global flags] <info|slem|measure|trim|sample|communities|rank|profile> [flags] <graph>
+  global flags: -cpuprofile f  -memprofile f  -trace f
   <graph> is a file path or "dataset:<name>[:scale]" (see Table 1 names)`)
 	os.Exit(2)
 }

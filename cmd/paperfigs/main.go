@@ -36,8 +36,10 @@ import (
 	"strings"
 	"syscall"
 
+	"mixtime/internal/cliutil"
 	"mixtime/internal/experiments"
 	"mixtime/internal/runner"
+	"mixtime/internal/telemetry"
 )
 
 func main() {
@@ -54,6 +56,10 @@ func main() {
 	jsonDir := flag.String("json", "", "directory to write <id>.json files")
 	quiet := flag.Bool("q", false, "suppress per-event progress on stderr")
 	listOnly := flag.Bool("list", false, "list registered experiments and exit")
+	telemetryOn := flag.Bool("telemetry", false, "collect kernel counters; table on stderr, plus <id>.telemetry.{csv,json} with -csv/-json")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	if *listOnly {
@@ -63,6 +69,13 @@ func main() {
 		return
 	}
 
+	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+
 	cfg := experiments.Config{
 		Scale:       *scale,
 		Sources:     *sources,
@@ -71,6 +84,9 @@ func main() {
 		SpectralTol: runner.DefaultSpectralTol,
 		BlockSize:   *block,
 		Workers:     *workers,
+	}
+	if *telemetryOn {
+		cfg.Collector = telemetry.New()
 	}
 	var keys []string
 	if *only != "" {
@@ -145,8 +161,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "paperfigs: %s: json: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		if e.Telemetry != nil {
+			if err := writeArtifact(*csvDir, e.ID, ".telemetry.csv", e.Telemetry.CSV); err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: %s: telemetry csv: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			if err := writeArtifact(*jsonDir, e.ID, ".telemetry.json", e.Telemetry.JSON); err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: %s: telemetry json: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
 	}
 	fmt.Fprint(os.Stderr, report.Summary())
+	if *telemetryOn {
+		fmt.Fprint(os.Stderr, report.TelemetryTable())
+	}
 	if runErr != nil || failed {
 		if runErr != nil {
 			fmt.Fprintln(os.Stderr, "paperfigs:", runErr)

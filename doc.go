@@ -37,4 +37,36 @@
 //	t, ok := m.SampledMixingTime(0.01)
 //	fmt.Printf("sampled T(0.01) = %d (reached: %v); log n = %d\n",
 //		t, ok, m.FastMixingYardstick())
+//
+// # Package map
+//
+// This facade re-exports the internal packages. Where something lives:
+//
+//	internal/graph        CSR graph, LCC, trimming, BFS sampling, shard plans
+//	internal/digraph      directed graphs, Tarjan SCC, symmetrization
+//	internal/graphio      edge-list / binary graph I/O (gzip-aware)
+//	internal/linalg       dense Jacobi eigensolver, Sturm bisection, vectors
+//	internal/markov       chain, exact propagation, TV/separation distance, traces
+//	internal/spectral     SLEM (power, Lanczos), Sinclair/Cheeger bounds, sweep cut
+//	internal/trust        trust-weighted and hesitant walks, weighted SLEM
+//	internal/gen          reference topologies and social-graph generators
+//	internal/datasets     Table-1 synthetic substitutes
+//	internal/metrics      clustering, assortativity, degree statistics
+//	internal/walk         plain walks and SybilGuard/SybilLimit random routes
+//	internal/maxflow      Dinic max flow (SumUp substrate)
+//	internal/sybil        SybilLimit, SybilGuard, SybilInfer, SumUp, attacks
+//	internal/community    label propagation, Louvain, modularity
+//	internal/centrality   betweenness, closeness, PageRank, PPR
+//	internal/whanau       Whānau DHT core
+//	internal/stats        CDFs, percentiles
+//	internal/core         the composed Measure/MeasureContext pipeline
+//	internal/runner       experiment registry, parallel runner, observer events
+//	internal/experiments  per-figure drivers (T1, F1–F8, X1–X7)
+//	internal/telemetry    kernel counters, gauges, stage timers (DESIGN.md §8)
+//	internal/textplot     ASCII charts and tables
+//	internal/cliutil      CLI helpers: graph loading, pprof/trace capture
+//
+// The runner and telemetry layers are reachable through Options
+// (Progress, Collector) and cmd/paperfigs; everything else surfaces
+// here as plain functions and types.
 package mixtime

@@ -1,6 +1,14 @@
 // Package cliutil holds the small helpers the command-line tools
-// share: resolving a graph argument that may be a file path or a
-// "dataset:<name>[:scale]" reference into a loaded graph.
+// share, so cmd/mixtime, cmd/paperfigs, cmd/gensocial and
+// cmd/sybilcheck stay thin shells:
+//
+//   - LoadGraphArg resolves a graph argument that may be a file path
+//     (edge-list or binary, ".gz" accepted) or a
+//     "dataset:<name>[:scale]" reference into a loaded graph.
+//   - StartProfiles turns -cpuprofile/-memprofile/-trace flag values
+//     into running runtime/pprof and runtime/trace captures with a
+//     single stop function, so every binary exposes the same
+//     profiling surface (see README "Profiling & benchmarking").
 package cliutil
 
 import (

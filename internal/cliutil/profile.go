@@ -1,0 +1,85 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles turns on the requested runtime profilers: a CPU
+// profile, a heap profile, and an execution trace, each written to
+// the named file (empty name = off). It returns the stop function the
+// caller must run at exit — conventionally
+//
+//	stop, err := cliutil.StartProfiles(*cpuprofile, *memprofile, *traceFile)
+//	if err != nil { ... }
+//	defer stop()
+//
+// stop flushes and closes every profile; the heap profile is captured
+// at stop time (after a GC, so it reflects live objects). Errors
+// while stopping are reported on stderr rather than returned, since
+// stop usually runs in a defer.
+func StartProfiles(cpuFile, memFile, traceFile string) (stop func(), err error) {
+	var stops []func()
+	fail := func(err error) (func(), error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		return nil, err
+	}
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return fail(fmt.Errorf("cpu profile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpu profile: %w", err))
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpu profile:", err)
+			}
+		})
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+		})
+	}
+	if memFile != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+				return
+			}
+			runtime.GC() // materialize live-object stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+			}
+		})
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}, nil
+}

@@ -18,6 +18,7 @@ import (
 	"mixtime/internal/markov"
 	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
+	"mixtime/internal/telemetry"
 )
 
 // Options configures a measurement. The numeric defaults are the
@@ -61,6 +62,11 @@ type Options struct {
 	// "spectral" (done = operator iterations so far, total = 0) or
 	// "sampling" (done of total sources traced). Calls are serialized.
 	Progress func(stage string, done, total int)
+	// Collector, if non-nil, receives kernel telemetry (edges scanned,
+	// matvecs, solver iterations, trace counts) plus scoped wall-time
+	// timers for the "spectral" and "sampling" stages. Measurements
+	// are byte-identical with or without a collector.
+	Collector *telemetry.Collector
 }
 
 // DefaultOptions returns the canonical measurement options, including
@@ -142,6 +148,9 @@ func MeasureContext(ctx context.Context, g *graph.Graph, opt Options) (*Measurem
 	if m.Bipartite {
 		chainOpts = append(chainOpts, markov.Lazy())
 	}
+	if opt.Collector != nil {
+		chainOpts = append(chainOpts, markov.WithCollector(opt.Collector))
+	}
 	chain, err := markov.New(component, chainOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -149,8 +158,11 @@ func MeasureContext(ctx context.Context, g *graph.Graph, opt Options) (*Measurem
 	m.Chain = chain
 
 	if !opt.SkipSpectral {
+		stopSpectral := opt.Collector.Timer("spectral")
 		est, err := spectral.SLEMContext(ctx, component, spectral.Options{
-			Tol: opt.SpectralTol, Seed: opt.Seed, Workers: opt.Workers})
+			Tol: opt.SpectralTol, Seed: opt.Seed, Workers: opt.Workers,
+			Collector: opt.Collector})
+		stopSpectral()
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -178,7 +190,9 @@ func MeasureContext(ctx context.Context, g *graph.Graph, opt Options) (*Measurem
 		if opt.Progress != nil {
 			onTrace = func(done, total int) { opt.Progress("sampling", done, total) }
 		}
+		stopSampling := opt.Collector.Timer("sampling")
 		traces, err := chain.TraceSampleBlockedContext(ctx, m.Sources, opt.MaxWalk, opt.BlockSize, opt.Workers, onTrace)
+		stopSampling()
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}

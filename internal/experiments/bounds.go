@@ -33,7 +33,8 @@ func boundCurves(ctx context.Context, ds []datasets.Dataset, cfg Config, obs run
 		}
 		g := d.Generate(cfg.Scale, cfg.Seed)
 		est, err := spectral.SLEMContext(ctx, g, spectral.Options{
-			Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers})
+			Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers,
+			Collector: cfg.Collector})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
 		}

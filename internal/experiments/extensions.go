@@ -165,7 +165,8 @@ func ConductanceContext(ctx context.Context, cfg Config, obs runner.Observer) ([
 		}
 		g := d.Generate(cfg.Scale, cfg.Seed)
 		cut, est, err := spectral.SweepConductanceContext(ctx, g, spectral.Options{
-			Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers})
+			Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers,
+			Collector: cfg.Collector})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
 		}

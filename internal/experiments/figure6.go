@@ -65,7 +65,8 @@ func Figure6Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Fig
 				level, lcc.NumNodes(), cfg.Scale)
 		}
 		est, err := spectral.SLEMContext(ctx, lcc, spectral.Options{
-			Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers})
+			Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers,
+			Collector: cfg.Collector})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: dblp-%d: %w", level, err)
 		}
@@ -80,7 +81,7 @@ func Figure6Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Fig
 		for _, eps := range grid {
 			row.BoundT = append(row.BoundT, spectral.MixingLowerBound(est.Mu, eps))
 		}
-		chain, err := markov.New(lcc)
+		chain, err := markov.New(lcc, markov.WithCollector(cfg.Collector))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: dblp-%d: %w", level, err)
 		}

@@ -77,11 +77,12 @@ func Figure7Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Fig
 			sub, _ = graph.LargestComponent(sub)
 
 			est, err := spectral.SLEMContext(ctx, sub, spectral.Options{
-				Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers})
+				Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers,
+				Collector: cfg.Collector})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%d: %w", name, paperSize, err)
 			}
-			chain, err := markov.New(sub)
+			chain, err := markov.New(sub, markov.WithCollector(cfg.Collector))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%d: %w", name, paperSize, err)
 			}

@@ -49,6 +49,7 @@ func measurePhysics(ctx context.Context, name string, cfg Config, obs runner.Obs
 		Workers:     cfg.Workers,
 		BlockSize:   cfg.BlockSize,
 		Progress:    progress,
+		Collector:   cfg.Collector,
 	})
 }
 

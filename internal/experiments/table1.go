@@ -46,7 +46,8 @@ func Table1Context(ctx context.Context, cfg Config, obs runner.Observer) ([]Tabl
 		}
 		g := d.Generate(cfg.Scale, cfg.Seed)
 		est, err := spectral.SLEMContext(ctx, g, spectral.Options{
-			Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers})
+			Tol: cfg.SpectralTol, Seed: cfg.Seed, Workers: cfg.Workers,
+			Collector: cfg.Collector})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
 		}

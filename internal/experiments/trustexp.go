@@ -43,7 +43,7 @@ func TrustModels(cfg Config) ([]TrustRow, error) {
 // and each finished dataset reports as a KindDatasetDone.
 func TrustModelsContext(ctx context.Context, cfg Config, obs runner.Observer) ([]TrustRow, error) {
 	cfg = cfg.WithDefaults()
-	opt := spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed}
+	opt := spectral.Options{Tol: cfg.SpectralTol, Seed: cfg.Seed, Collector: cfg.Collector}
 	var rows []TrustRow
 	for i, name := range trustDatasets {
 		if err := ctx.Err(); err != nil {

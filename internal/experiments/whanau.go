@@ -60,7 +60,7 @@ func WhanauContext(ctx context.Context, cfg Config, obs runner.Observer) ([]Whan
 			return nil, err
 		}
 		g := d.Generate(cfg.Scale, cfg.Seed)
-		chain, err := markov.New(g)
+		chain, err := markov.New(g, markov.WithCollector(cfg.Collector))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", name, err)
 		}

@@ -99,6 +99,50 @@ func (p *ShardPlan) Do(workers int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// ShardStats summarizes how evenly a plan splits a graph's adjacency
+// — the telemetry behind the "shard imbalance" gauge. A perfectly
+// balanced plan has Imbalance 1.0; power-law graphs with one huge hub
+// can push it well above that because shards are contiguous.
+type ShardStats struct {
+	// Shards is the number of non-empty shards.
+	Shards int
+	// MinAdj and MaxAdj are the smallest and largest shard adjacency
+	// lengths (Σ degree over the shard's vertices).
+	MinAdj, MaxAdj int64
+	// MeanAdj is the mean adjacency length over non-empty shards.
+	MeanAdj float64
+	// Imbalance is MaxAdj / MeanAdj (1.0 = perfectly balanced).
+	Imbalance float64
+}
+
+// Stats measures the plan's adjacency balance against g (the graph it
+// was built from).
+func (p *ShardPlan) Stats(g *Graph) ShardStats {
+	var st ShardStats
+	for i := 0; i < p.NumShards(); i++ {
+		lo, hi := p.Bounds(i)
+		if lo >= hi {
+			continue
+		}
+		adj := g.offsets[hi] - g.offsets[lo]
+		if st.Shards == 0 || adj < st.MinAdj {
+			st.MinAdj = adj
+		}
+		if adj > st.MaxAdj {
+			st.MaxAdj = adj
+		}
+		st.Shards++
+		st.MeanAdj += float64(adj)
+	}
+	if st.Shards > 0 {
+		st.MeanAdj /= float64(st.Shards)
+		if st.MeanAdj > 0 {
+			st.Imbalance = float64(st.MaxAdj) / st.MeanAdj
+		}
+	}
+	return st
+}
+
 // AdjacencyOffset returns the CSR slot index of the first neighbor of
 // v — the index into CSR-aligned parallel arrays (edge weights) where
 // v's adjacency begins. AdjacencyOffset(v+1) − AdjacencyOffset(v) is

@@ -140,3 +140,39 @@ func TestAdjacencyOffset(t *testing.T) {
 		}
 	}
 }
+
+func TestShardStats(t *testing.T) {
+	g := shardTestGraph(500, 5)
+	total := int64(2) * g.NumEdges()
+
+	// One shard holds everything: Min = Max = Mean = 2m, Imbalance 1.
+	one := NewShardPlan(g, 1).Stats(g)
+	if one.Shards != 1 || one.MinAdj != total || one.MaxAdj != total {
+		t.Fatalf("1-shard stats = %+v, want all adjacency (%d) in one shard", one, total)
+	}
+	if one.Imbalance != 1 {
+		t.Errorf("1-shard imbalance = %v, want 1", one.Imbalance)
+	}
+
+	// Multiple shards must partition the adjacency exactly and keep
+	// the invariants Min ≤ Mean ≤ Max and Imbalance = Max/Mean ≥ 1.
+	for _, shards := range []int{2, 4, 8, 16} {
+		st := NewShardPlan(g, shards).Stats(g)
+		if sum := int64(st.MeanAdj*float64(st.Shards) + 0.5); sum != total {
+			t.Errorf("shards=%d: adjacency sums to %d, want %d", shards, sum, total)
+		}
+		if float64(st.MinAdj) > st.MeanAdj || st.MeanAdj > float64(st.MaxAdj) {
+			t.Errorf("shards=%d: min %d ≤ mean %.1f ≤ max %d violated",
+				shards, st.MinAdj, st.MeanAdj, st.MaxAdj)
+		}
+		if st.Imbalance < 1 {
+			t.Errorf("shards=%d: imbalance %v < 1", shards, st.Imbalance)
+		}
+	}
+
+	// An empty plan yields zero stats rather than dividing by zero.
+	empty := NewShardPlan(&Graph{}, 4).Stats(&Graph{})
+	if empty.Shards != 0 || empty.Imbalance != 0 {
+		t.Errorf("empty-graph stats = %+v, want zeros", empty)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"mixtime/internal/graph"
+	"mixtime/internal/telemetry"
 )
 
 // DefaultBlockSize is the number of source distributions a blocked
@@ -32,6 +33,10 @@ func (c *Chain) StepBlock(dst, p []float64, width int, scratch []float64) {
 	if width == 1 {
 		c.Step(dst[:n], p[:n], scratch)
 		return
+	}
+	if c.col != nil {
+		c.col.Add(telemetry.SpMMBlocks, 1)
+		c.col.Add(telemetry.EdgesScanned, c.adjLen)
 	}
 	size := n * width
 	w := scratch
@@ -182,6 +187,10 @@ func (c *Chain) traceBlock(ctx context.Context, sources []graph.NodeID, maxT int
 		for j := range traces {
 			traces[j].TV[t] = buf.tv[j]
 		}
+	}
+	if c.col != nil {
+		c.col.Add(telemetry.SourceSteps, int64(maxT)*int64(width))
+		c.col.Add(telemetry.TracesCompleted, int64(width))
 	}
 	return traces, nil
 }

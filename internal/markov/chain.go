@@ -14,6 +14,7 @@ import (
 	"runtime"
 
 	"mixtime/internal/graph"
+	"mixtime/internal/telemetry"
 )
 
 // minParallelAdj is the adjacency length (2m) below which the
@@ -31,6 +32,8 @@ type Chain struct {
 	invDeg []float64
 	pi     []float64
 	plan   *graph.ShardPlan
+	adjLen int64 // 2m, the CSR entries one full pass scans
+	col    *telemetry.Collector
 	lazy   bool
 }
 
@@ -41,6 +44,16 @@ type Option func(*Chain)
 // on every connected graph, including bipartite ones where the plain
 // walk never converges. The stationary distribution is unchanged.
 func Lazy() Option { return func(c *Chain) { c.lazy = true } }
+
+// WithCollector attaches a telemetry collector: every propagation
+// kernel then counts its matvecs, SpMM blocks, edges scanned and
+// trace completions into col at kernel-call granularity (one atomic
+// add per CSR pass, never per edge), so results stay byte-identical.
+// A nil col — the default — keeps the hot paths on the uninstrumented
+// fast path.
+func WithCollector(col *telemetry.Collector) Option {
+	return func(c *Chain) { c.col = col }
+}
 
 // New constructs the random-walk chain for g. It fails if the graph
 // is empty or has isolated vertices (the walk is undefined there); the
@@ -72,8 +85,18 @@ func New(g *graph.Graph, opts ...Option) (*Chain, error) {
 	// once per chain. Oversubscribing the core count keeps workers
 	// busy when shard costs drift apart.
 	c.plan = graph.NewShardPlan(g, 4*runtime.GOMAXPROCS(0))
+	c.adjLen = 2 * g.NumEdges()
+	if c.col != nil {
+		st := c.plan.Stats(g)
+		c.col.ObserveMax(telemetry.ShardImbalanceMilli, int64(st.Imbalance*1000))
+		c.col.ObserveMax(telemetry.MaxGraphAdjacency, c.adjLen)
+	}
 	return c, nil
 }
+
+// Collector returns the attached telemetry collector (nil when the
+// chain is uninstrumented).
+func (c *Chain) Collector() *telemetry.Collector { return c.col }
 
 // Graph returns the underlying graph.
 func (c *Chain) Graph() *graph.Graph { return c.g }
@@ -104,6 +127,10 @@ func (c *Chain) IsErgodic() bool {
 // scratch, if at least NumNodes long, avoids an allocation (longer
 // pooled buffers are resliced, not rejected).
 func (c *Chain) Step(dst, p, scratch []float64) {
+	if c.col != nil {
+		c.col.Add(telemetry.Matvecs, 1)
+		c.col.Add(telemetry.EdgesScanned, c.adjLen)
+	}
 	n := c.g.NumNodes()
 	w := scratch
 	if len(w) < n {
@@ -161,6 +188,10 @@ func (c *Chain) StepParallel(dst, p, scratch []float64, workers int) {
 	if workers <= 1 {
 		c.Step(dst, p, scratch)
 		return
+	}
+	if c.col != nil {
+		c.col.Add(telemetry.Matvecs, 1)
+		c.col.Add(telemetry.EdgesScanned, c.adjLen)
 	}
 	w := scratch
 	if len(w) < n {

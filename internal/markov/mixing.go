@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"mixtime/internal/graph"
+	"mixtime/internal/telemetry"
 )
 
 // Trace records, for one source vertex, the total-variation distance
@@ -66,6 +67,10 @@ func (c *Chain) TraceFromContext(ctx context.Context, src graph.NodeID, maxT int
 		p, q = q, p
 		tv[t] = TVDistance(p, c.pi)
 	}
+	if c.col != nil {
+		c.col.Add(telemetry.SourceSteps, int64(maxT))
+		c.col.Add(telemetry.TracesCompleted, 1)
+	}
 	return &Trace{Source: src, TV: tv}, nil
 }
 
@@ -84,10 +89,20 @@ func (c *Chain) TraceUntil(src graph.NodeID, eps float64, maxT int) (*Trace, boo
 		d := TVDistance(p, c.pi)
 		tv = append(tv, d)
 		if d < eps {
+			c.traceDone(len(tv))
 			return &Trace{Source: src, TV: tv}, true
 		}
 	}
+	c.traceDone(len(tv))
 	return &Trace{Source: src, TV: tv}, false
+}
+
+// traceDone records one finished trace of the given length.
+func (c *Chain) traceDone(steps int) {
+	if c.col != nil {
+		c.col.Add(telemetry.SourceSteps, int64(steps))
+		c.col.Add(telemetry.TracesCompleted, 1)
+	}
 }
 
 // TraceAll runs TraceFrom for every vertex — the brute-force

@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 
 	"mixtime/internal/graph"
+	"mixtime/internal/telemetry"
 )
 
 // MCTrace estimates the TV-distance curve from src by simulating
@@ -39,11 +40,13 @@ func (c *Chain) MCTrace(src graph.NodeID, maxT, walks int, rng *rand.Rand) *Trac
 		sum += d
 	}
 	tv := make([]float64, maxT)
+	var moves int64 // batched into the collector after the loop
 	for t := 0; t < maxT; t++ {
 		for i, v := range pos {
 			if c.lazy && rng.IntN(2) == 0 {
 				continue
 			}
+			moves++
 			adj := c.g.Neighbors(v)
 			u := adj[rng.IntN(len(adj))]
 			pos[i] = u
@@ -65,6 +68,10 @@ func (c *Chain) MCTrace(src graph.NodeID, maxT, walks int, rng *rand.Rand) *Trac
 			sum = 0 // clamp float noise from incremental updates
 		}
 		tv[t] = sum / 2
+	}
+	if c.col != nil {
+		c.col.Add(telemetry.WalkerMoves, moves)
+		c.col.Add(telemetry.TracesCompleted, 1)
 	}
 	return &Trace{Source: src, TV: tv}
 }

@@ -3,6 +3,15 @@
 // et al., NSDI 2009), the vote-collection Sybil defense the paper
 // cites: SumUp bounds bogus votes by the max-flow between voters and
 // a vote collector, so reproducing it requires a real flow solver.
+//
+// Build a Network with NewNetwork/AddEdge (AddUndirectedEdge for the
+// social-graph case, where capacity applies in both directions), then
+// call MaxFlow once per (s, t) pair; per-edge flows are readable
+// afterwards via Flow and the s-side of a minimum cut via MinCutSide.
+// Dinic's runs in O(V²E) generally and O(E√V) on the unit-capacity
+// networks SumUp's ticket envelope produces; the level-graph BFS and
+// blocking-flow DFS are iterative, so deep networks cannot overflow
+// the goroutine stack.
 package maxflow
 
 import (

@@ -1,5 +1,7 @@
 package runner
 
+import "mixtime/internal/telemetry"
+
 // Canonical experiment defaults. These used to be duplicated (with
 // silently different values) between core.Options and
 // experiments.Config; every layer now reads the single set below.
@@ -66,6 +68,15 @@ type Config struct {
 	// pools can oversubscribe the cores, which wastes nothing but
 	// scheduling.
 	Workers int
+	// Collector, if non-nil, turns kernel telemetry on: drivers thread
+	// it into the markov and spectral hot paths, which count edges
+	// scanned, matvecs, SpMM blocks, solver iterations and restarts
+	// into it. The Runner gives each experiment a child collector and
+	// merges the children here, so per-experiment snapshots appear in
+	// ExperimentReport.Telemetry while this collector accumulates the
+	// whole run. Telemetry never changes experiment output: results
+	// are byte-identical with or without a collector.
+	Collector *telemetry.Collector
 }
 
 // DefaultConfig returns the canonical configuration, including the

@@ -3,6 +3,8 @@ package runner
 import (
 	"sync"
 	"time"
+
+	"mixtime/internal/telemetry"
 )
 
 // EventKind classifies a progress event.
@@ -25,6 +27,10 @@ const (
 	// KindStageProgress reports fine-grained progress inside a stage,
 	// e.g. sources completed during trace propagation.
 	KindStageProgress
+	// KindTelemetry fires after an instrumented experiment finishes
+	// (Config.Collector non-nil); Telemetry carries that experiment's
+	// counter snapshot.
+	KindTelemetry
 )
 
 // String names the kind for logs.
@@ -42,6 +48,8 @@ func (k EventKind) String() string {
 		return "dataset-done"
 	case KindStageProgress:
 		return "stage-progress"
+	case KindTelemetry:
+		return "telemetry"
 	default:
 		return "unknown"
 	}
@@ -66,6 +74,9 @@ type Event struct {
 	Elapsed time.Duration
 	// Err is the failure attached to a finished experiment or run.
 	Err error
+	// Telemetry is the experiment's counter snapshot on KindTelemetry
+	// events (nil otherwise).
+	Telemetry *telemetry.Snapshot
 }
 
 // Observer receives progress events. Implementations used with the

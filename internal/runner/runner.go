@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"mixtime/internal/telemetry"
 )
 
 // Result is a finished experiment's artifact: renderable text plus
@@ -152,6 +154,11 @@ type ExperimentReport struct {
 	// Skipped reports the experiment never started because the run was
 	// cancelled first.
 	Skipped bool
+	// Telemetry is the experiment's counter snapshot when the run was
+	// instrumented (Config.Collector non-nil), nil otherwise. Each
+	// experiment records into its own child collector, so these stay
+	// attributable under parallel scheduling.
+	Telemetry *telemetry.Snapshot
 }
 
 // Report is a completed (or cancelled) run.
@@ -186,6 +193,67 @@ func (rp *Report) Summary() string {
 		}
 		fmt.Fprintf(&b, "  %-*s  %8.2fs  %s\n", width, e.ID, e.Elapsed.Seconds(), status)
 	}
+	return b.String()
+}
+
+// TelemetryTable renders the per-experiment kernel counters of an
+// instrumented run as an aligned text table (empty string when the
+// run carried no collector). It reports the deterministic counters
+// only — wall times live in Summary and the per-snapshot timers.
+func (rp *Report) TelemetryTable() string {
+	cols := []struct {
+		head string
+		ctr  telemetry.Counter
+	}{
+		{"edges", telemetry.EdgesScanned},
+		{"matvecs", telemetry.Matvecs},
+		{"spmm", telemetry.SpMMBlocks},
+		{"src-steps", telemetry.SourceSteps},
+		{"power", telemetry.PowerIterations},
+		{"lanczos", telemetry.LanczosIterations},
+		{"restarts", telemetry.Restarts},
+		{"traces", telemetry.TracesCompleted},
+	}
+	any := false
+	for _, e := range rp.Experiments {
+		if e.Telemetry != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	idW := 2
+	for _, e := range rp.Experiments {
+		if len(e.ID) > idW {
+			idW = len(e.ID)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", idW, "id")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "  %12s", c.head)
+	}
+	b.WriteByte('\n')
+	total := telemetry.New()
+	for _, e := range rp.Experiments {
+		if e.Telemetry == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s", idW, e.ID)
+		for _, c := range cols {
+			fmt.Fprintf(&b, "  %12d", e.Telemetry.Get(c.ctr))
+		}
+		b.WriteByte('\n')
+		total.Merge(*e.Telemetry)
+	}
+	snap := total.Snapshot()
+	fmt.Fprintf(&b, "%-*s", idW, "sum")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "  %12d", snap.Get(c.ctr))
+	}
+	b.WriteByte('\n')
 	return b.String()
 }
 
@@ -269,13 +337,26 @@ func (r *Runner) Run(ctx context.Context, cfg Config, keys ...string) (*Report, 
 					rep.Err = fmt.Errorf("runner: %s skipped: %w", d.ID, err)
 					continue
 				}
+				// Instrumented runs give each experiment a child collector,
+				// merged into the run-wide one after the experiment returns;
+				// drivers still see a single cfg.Collector either way.
+				cfgi := cfg
+				if cfg.Collector != nil {
+					cfgi.Collector = telemetry.New()
+				}
 				t0 := time.Now()
 				Emit(obs, Event{Kind: KindExperimentStarted, Experiment: d.ID})
-				res, err := d.Run(ctx, cfg, stampedObserver{inner: obs, id: d.ID})
+				res, err := d.Run(ctx, cfgi, stampedObserver{inner: obs, id: d.ID})
 				rep.Result, rep.Err = res, err
 				rep.Elapsed = time.Since(t0)
 				Emit(obs, Event{Kind: KindExperimentFinished, Experiment: d.ID,
 					Elapsed: rep.Elapsed, Err: err})
+				if cfg.Collector != nil {
+					snap := cfgi.Collector.Snapshot()
+					rep.Telemetry = &snap
+					cfg.Collector.Merge(snap)
+					Emit(obs, Event{Kind: KindTelemetry, Experiment: d.ID, Telemetry: &snap})
+				}
 			}
 		}()
 	}

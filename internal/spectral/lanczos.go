@@ -9,6 +9,7 @@ import (
 
 	"mixtime/internal/graph"
 	"mixtime/internal/linalg"
+	"mixtime/internal/telemetry"
 )
 
 // SLEMLanczos estimates µ with the symmetric Lanczos process on S,
@@ -41,6 +42,9 @@ func SLEMLanczosContext(ctx context.Context, g *graph.Graph, opt Options) (*Esti
 
 func slemLanczosOp(ctx context.Context, op *Operator, opt Options) (*Estimate, error) {
 	opt = opt.withDefaults(500)
+	if opt.Collector != nil && op.col == nil {
+		op.SetCollector(opt.Collector)
+	}
 	n := op.Dim()
 	if n < 2 {
 		return nil, errors.New("spectral: graph too small for SLEM")
@@ -76,6 +80,8 @@ func slemLanczosOp(ctx context.Context, op *Operator, opt Options) (*Estimate, e
 	stable := 0
 	iters := 0
 	converged := false
+	// One add per solve, whatever exit path the loop takes.
+	defer func() { opt.Collector.Add(telemetry.LanczosIterations, int64(iters)) }()
 
 	for k := 0; k < maxK; k++ {
 		if err := ctx.Err(); err != nil {
@@ -170,6 +176,9 @@ func Profile(g *graph.Graph, k int, opt Options) ([]float64, error) {
 // lanczosTridiagonal runs the deflated Lanczos process to completion
 // (MaxIter steps or Krylov exhaustion) and returns the tridiagonal.
 func lanczosTridiagonal(op *Operator, opt Options) (*linalg.Tridiag, error) {
+	if opt.Collector != nil && op.col == nil {
+		op.SetCollector(opt.Collector)
+	}
 	n := op.Dim()
 	if n < 2 {
 		return nil, errors.New("spectral: graph too small")
@@ -238,6 +247,7 @@ func SLEMContext(ctx context.Context, g *graph.Graph, opt Options) (*Estimate, e
 	if est.Converged {
 		return est, nil
 	}
+	opt.Collector.Add(telemetry.Restarts, 1)
 	pow, err := SLEMPowerContext(ctx, g, opt)
 	if err != nil {
 		// A cancelled fallback must surface rather than be swallowed

@@ -20,6 +20,7 @@ import (
 
 	"mixtime/internal/graph"
 	"mixtime/internal/linalg"
+	"mixtime/internal/telemetry"
 )
 
 // minParallelAdj is the adjacency length (2m) below which ApplyParallel
@@ -39,6 +40,8 @@ type Operator struct {
 	v1         []float64 // unit top eigenvector √(strength/total)
 	weights    []float64 // CSR-aligned edge weights; nil = unweighted
 	plan       *graph.ShardPlan
+	adjLen     int64 // 2m, the CSR entries one matvec scans
+	col        *telemetry.Collector
 }
 
 // NewOperator builds the operator. The graph must be non-empty with
@@ -66,7 +69,24 @@ func NewOperator(g *graph.Graph) (*Operator, error) {
 		op.v1[v] = math.Sqrt(d / twoM)
 	}
 	op.plan = newOperatorPlan(g)
+	op.adjLen = 2 * g.NumEdges()
 	return op, nil
+}
+
+// SetCollector attaches a telemetry collector: every matvec then
+// counts into col at call granularity (one atomic add per CSR pass),
+// and the operator's shard-plan imbalance is recorded as a gauge.
+// Call before the operator is shared across goroutines; a nil col
+// (the default) keeps Apply on the uninstrumented fast path. The
+// solver entry points do this automatically from
+// Options.Collector.
+func (op *Operator) SetCollector(col *telemetry.Collector) {
+	op.col = col
+	if col != nil {
+		st := op.plan.Stats(op.g)
+		col.ObserveMax(telemetry.ShardImbalanceMilli, int64(st.Imbalance*1000))
+		col.ObserveMax(telemetry.MaxGraphAdjacency, op.adjLen)
+	}
 }
 
 // newOperatorPlan precomputes the edge-balanced shard plan the
@@ -90,6 +110,10 @@ func (op *Operator) TopEigenvector() []float64 { return op.v1 }
 // not alias. scratch, if at least Dim long, avoids an allocation
 // (longer pooled buffers are resliced, not rejected).
 func (op *Operator) Apply(dst, x, scratch []float64) {
+	if op.col != nil {
+		op.col.Add(telemetry.Matvecs, 1)
+		op.col.Add(telemetry.EdgesScanned, op.adjLen)
+	}
 	n := op.Dim()
 	w := scratch
 	if len(w) < n {
@@ -150,6 +174,10 @@ func (op *Operator) ApplyParallel(dst, x, scratch []float64, workers int) {
 	if workers <= 1 {
 		op.Apply(dst, x, scratch)
 		return
+	}
+	if op.col != nil {
+		op.col.Add(telemetry.Matvecs, 1)
+		op.col.Add(telemetry.EdgesScanned, op.adjLen)
 	}
 	w := scratch
 	if len(w) < n {

@@ -9,6 +9,7 @@ import (
 
 	"mixtime/internal/graph"
 	"mixtime/internal/linalg"
+	"mixtime/internal/telemetry"
 )
 
 // Estimate is the result of a SLEM computation.
@@ -42,6 +43,11 @@ type Options struct {
 	// Sharding preserves per-row summation order, so estimates are
 	// byte-identical for any value.
 	Workers int
+	// Collector, if non-nil, receives the solver's telemetry: matvecs,
+	// edges scanned, power/Lanczos iteration counts and restarts.
+	// Counting happens at call granularity, so estimates are
+	// byte-identical with or without a collector.
+	Collector *telemetry.Collector
 }
 
 func (o Options) withDefaults(defaultIter int) Options {
@@ -84,6 +90,9 @@ func powerExtreme(ctx context.Context, op *Operator, shift, scale float64, opt O
 	randomUnit(x, rng)
 	op.Deflate(x)
 	linalg.Normalize(x)
+
+	// One add per solve, whatever exit path the iteration takes.
+	defer func() { opt.Collector.Add(telemetry.PowerIterations, int64(iters)) }()
 
 	var rho float64
 	for iters = 1; iters <= opt.MaxIter; iters++ {
@@ -140,6 +149,9 @@ func SLEMPowerContext(ctx context.Context, g *graph.Graph, opt Options) (*Estima
 
 func slemPowerOp(ctx context.Context, op *Operator, opt Options) (*Estimate, error) {
 	opt = opt.withDefaults(50_000)
+	if opt.Collector != nil && op.col == nil {
+		op.SetCollector(opt.Collector)
+	}
 	if op.Dim() < 2 {
 		return nil, errors.New("spectral: graph too small for SLEM")
 	}

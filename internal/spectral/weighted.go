@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"mixtime/internal/graph"
+	"mixtime/internal/telemetry"
 )
 
 // NewWeightedOperator builds the symmetrized walk operator for a
@@ -61,6 +62,7 @@ func NewWeightedOperator(g *graph.Graph, weights []float64) (*Operator, error) {
 		op.v1[v] = math.Sqrt(strength[v] / total)
 	}
 	op.plan = newOperatorPlan(g)
+	op.adjLen = slots
 	return op, nil
 }
 
@@ -103,6 +105,7 @@ func SLEMOfContext(ctx context.Context, op *Operator, opt Options) (*Estimate, e
 	if est.Converged {
 		return est, nil
 	}
+	opt.Collector.Add(telemetry.Restarts, 1)
 	pow, err := slemPowerOp(ctx, op, opt)
 	if err != nil {
 		// A cancelled fallback must surface, not be swallowed as an

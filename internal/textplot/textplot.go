@@ -1,6 +1,15 @@
 // Package textplot renders data series as ASCII charts and aligned
 // tables, so the experiment binaries can reproduce the paper's
-// figures directly in a terminal.
+// figures directly in a terminal without any plotting dependency.
+//
+// Chart plots one or more Series into a fixed-size rune grid with
+// distinct per-series glyphs, linear or logarithmic axes, and a
+// legend — enough to reproduce the shape of the paper's
+// ε-vs-walk-length curves (Figures 1–2) and CDFs (Figures 3–4).
+// Table lays out rows with per-column alignment for the Table-1 style
+// artifacts. Output is deterministic for identical input, which is
+// what lets paperfigs promise byte-identical runs: charts contain no
+// timestamps, addresses, or map-ordered iteration.
 package textplot
 
 import (

@@ -4,6 +4,16 @@
 // routes are deterministic per instance, convergent (two routes
 // entering a node along the same edge continue identically) and
 // back-traceable (the slot maps are bijections).
+//
+// Random and Tail cover the plain-walk needs of the defenses and the
+// Whānau tail-distribution experiments. Routes come in two storage
+// strategies with identical outputs: materialized permutations (an
+// O(m) table per instance, fastest to traverse) and PRF-lazy
+// permutations derived per (node, instance) from a keyed SplitMix64,
+// which cost more per step but keep memory at O(tails) — the
+// trade-off measured by BenchmarkRoutePermutations and discussed in
+// DESIGN.md §7. All randomness flows from caller-provided seeds, so
+// defense experiments are reproducible run to run.
 package walk
 
 import (

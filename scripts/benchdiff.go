@@ -1,0 +1,219 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// scripts/bench.sh and fails when a kernel regressed.
+//
+// Usage:
+//
+//	go run ./scripts <old.json> <new.json> [-threshold 0.15]
+//
+// Each snapshot is a JSON array of {name, iterations, ns_per_op}
+// entries (plus optional extra metrics, which are ignored). Benchmark
+// names are normalized by stripping the trailing -N GOMAXPROCS suffix
+// that `go test -bench` appends, so snapshots taken on machines with
+// different core counts still line up. Duplicate entries for one
+// benchmark (a snapshot recorded with `go test -count N`) collapse to
+// the fastest repetition, the noise-robust estimator.
+//
+// For every benchmark present in both snapshots, the tool prints the
+// old and new ns/op and the relative delta. A benchmark whose ns/op
+// grew by more than the threshold (default 15%) is a regression; the
+// process exits 1 if any regressed. Benchmarks present in only one
+// snapshot are listed as added/removed but never fail the gate — new
+// kernels have no baseline and removed ones have no present.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// benchEntry is one benchmark result in a bench.sh snapshot. Extra
+// custom metrics (ns/source, matvecs, ...) are ignored: ns/op is the
+// regression-gated quantity.
+type benchEntry struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// cpuSuffix matches the -N GOMAXPROCS suffix go test appends to
+// benchmark names (e.g. BenchmarkStepBlock/B=8-64).
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// dedupeMin collapses duplicate entries for the same normalized name
+// to the fastest one, preserving first-appearance order. Snapshots
+// recorded with `go test -count N` carry one entry per repetition;
+// min ns/op is the noise-robust estimator (scheduler hiccups only
+// ever make a run slower, never faster).
+func dedupeMin(entries []benchEntry) []benchEntry {
+	best := make(map[string]int, len(entries))
+	out := make([]benchEntry, 0, len(entries))
+	for _, e := range entries {
+		n := normalizeName(e.Name)
+		if i, ok := best[n]; ok {
+			if e.NsPerOp < out[i].NsPerOp {
+				out[i] = e
+			}
+			continue
+		}
+		best[n] = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+// normalizeName strips the GOMAXPROCS suffix so snapshots from
+// machines with different core counts compare by benchmark identity.
+func normalizeName(name string) string {
+	return cpuSuffix.ReplaceAllString(name, "")
+}
+
+// diffLine is one row of the comparison report.
+type diffLine struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	Delta    float64 // (new-old)/old; 0 when either side is missing
+	Status   string  // "ok", "REGRESSED", "improved", "added", "removed"
+	Regressn bool
+}
+
+// diffSnapshots compares two snapshots under a relative ns/op growth
+// threshold and reports whether any benchmark regressed. Results are
+// sorted by normalized name for stable output.
+func diffSnapshots(old, new []benchEntry, threshold float64) (lines []diffLine, regressed bool) {
+	oldBy := make(map[string]benchEntry, len(old))
+	for _, e := range old {
+		oldBy[normalizeName(e.Name)] = e
+	}
+	newBy := make(map[string]benchEntry, len(new))
+	for _, e := range new {
+		newBy[normalizeName(e.Name)] = e
+	}
+	names := make([]string, 0, len(oldBy)+len(newBy))
+	for n := range oldBy {
+		names = append(names, n)
+	}
+	for n := range newBy {
+		if _, ok := oldBy[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		o, hasOld := oldBy[n]
+		e, hasNew := newBy[n]
+		l := diffLine{Name: n, OldNs: o.NsPerOp, NewNs: e.NsPerOp}
+		switch {
+		case !hasNew:
+			l.Status = "removed"
+		case !hasOld:
+			l.Status = "added"
+		case o.NsPerOp <= 0:
+			// A degenerate baseline can't be regressed against.
+			l.Status = "ok"
+		default:
+			l.Delta = (e.NsPerOp - o.NsPerOp) / o.NsPerOp
+			switch {
+			case l.Delta > threshold:
+				l.Status = "REGRESSED"
+				l.Regressn = true
+				regressed = true
+			case l.Delta < -threshold:
+				l.Status = "improved"
+			default:
+				l.Status = "ok"
+			}
+		}
+		lines = append(lines, l)
+	}
+	return lines, regressed
+}
+
+// renderDiff formats the report as an aligned table.
+func renderDiff(lines []diffLine, threshold float64) string {
+	var b strings.Builder
+	width := len("benchmark")
+	for _, l := range lines {
+		if len(l.Name) > width {
+			width = len(l.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %14s  %14s  %8s  %s\n",
+		width, "benchmark", "old ns/op", "new ns/op", "delta", "status")
+	for _, l := range lines {
+		oldNs, newNs, delta := "-", "-", "-"
+		if l.Status != "added" {
+			oldNs = fmt.Sprintf("%.1f", l.OldNs)
+		}
+		if l.Status != "removed" {
+			newNs = fmt.Sprintf("%.1f", l.NewNs)
+		}
+		if l.Status != "added" && l.Status != "removed" {
+			delta = fmt.Sprintf("%+.1f%%", 100*l.Delta)
+		}
+		fmt.Fprintf(&b, "%-*s  %14s  %14s  %8s  %s\n",
+			width, l.Name, oldNs, newNs, delta, l.Status)
+	}
+	fmt.Fprintf(&b, "threshold: +%.0f%% ns/op\n", 100*threshold)
+	return b.String()
+}
+
+// loadSnapshot reads one bench.sh JSON snapshot.
+func loadSnapshot(path string) ([]benchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []benchEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return dedupeMin(entries), nil
+}
+
+func main() {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.15, "relative ns/op growth that counts as a regression")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] <old.json> <new.json>")
+		fs.PrintDefaults()
+	}
+	// Accept flags before or after the positional snapshots.
+	var paths []string
+	args := os.Args[1:]
+	for len(args) > 0 {
+		if err := fs.Parse(args); err != nil {
+			os.Exit(2)
+		}
+		args = fs.Args()
+		if len(args) > 0 {
+			paths = append(paths, args[0])
+			args = args[1:]
+		}
+	}
+	if len(paths) != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	oldEntries, err := loadSnapshot(paths[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newEntries, err := loadSnapshot(paths[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	lines, regressed := diffSnapshots(oldEntries, newEntries, *threshold)
+	fmt.Printf("benchdiff: %s -> %s\n%s", paths[0], paths[1], renderDiff(lines, *threshold))
+	if regressed {
+		fmt.Fprintln(os.Stderr, "benchdiff: kernel regression above threshold")
+		os.Exit(1)
+	}
+}

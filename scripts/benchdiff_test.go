@@ -1,0 +1,137 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func entry(name string, ns float64) benchEntry {
+	return benchEntry{Name: name, Iterations: 100, NsPerOp: ns}
+}
+
+func TestNormalizeNameStripsCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkStepBlock/B=8-64":  "BenchmarkStepBlock/B=8",
+		"BenchmarkSLEMPower-4":       "BenchmarkSLEMPower",
+		"BenchmarkApplyParallel":     "BenchmarkApplyParallel",
+		"BenchmarkTrace/maxT=500-16": "BenchmarkTrace/maxT=500",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDiffFlagsSyntheticRegression(t *testing.T) {
+	// A synthetic >15% ns/op growth must trip the gate.
+	old := []benchEntry{
+		entry("BenchmarkStepBlock/B=8-64", 1000),
+		entry("BenchmarkSLEMPower-64", 5000),
+	}
+	new := []benchEntry{
+		entry("BenchmarkStepBlock/B=8-64", 1200), // +20%: regression
+		entry("BenchmarkSLEMPower-64", 5100),     // +2%: fine
+	}
+	lines, regressed := diffSnapshots(old, new, 0.15)
+	if !regressed {
+		t.Fatal("a +20%% ns/op growth above a 15%% threshold must regress")
+	}
+	var hit *diffLine
+	for i := range lines {
+		if lines[i].Name == "BenchmarkStepBlock/B=8" {
+			hit = &lines[i]
+		}
+	}
+	if hit == nil {
+		t.Fatal("regressed benchmark missing from report")
+	}
+	if hit.Status != "REGRESSED" || !hit.Regressn {
+		t.Errorf("status = %q (regressn=%v), want REGRESSED", hit.Status, hit.Regressn)
+	}
+	if got := hit.Delta; got < 0.19 || got > 0.21 {
+		t.Errorf("delta = %v, want ~0.20", got)
+	}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	old := []benchEntry{entry("BenchmarkA-8", 1000), entry("BenchmarkB-8", 2000)}
+	new := []benchEntry{entry("BenchmarkA-8", 1140), entry("BenchmarkB-8", 1800)}
+	lines, regressed := diffSnapshots(old, new, 0.15)
+	if regressed {
+		t.Fatalf("+14%%/-10%% must pass a 15%% threshold: %+v", lines)
+	}
+	if lines[1].Status != "ok" {
+		t.Errorf("BenchmarkB status = %q, want ok", lines[1].Status)
+	}
+}
+
+func TestDiffImprovementReported(t *testing.T) {
+	old := []benchEntry{entry("BenchmarkA-8", 1000)}
+	new := []benchEntry{entry("BenchmarkA-8", 500)}
+	lines, regressed := diffSnapshots(old, new, 0.15)
+	if regressed {
+		t.Fatal("an improvement must not regress")
+	}
+	if lines[0].Status != "improved" {
+		t.Errorf("status = %q, want improved", lines[0].Status)
+	}
+}
+
+func TestDiffAddedAndRemovedNeverFail(t *testing.T) {
+	old := []benchEntry{entry("BenchmarkGone-8", 1000)}
+	new := []benchEntry{entry("BenchmarkNew-8", 99999)}
+	lines, regressed := diffSnapshots(old, new, 0.15)
+	if regressed {
+		t.Fatal("added/removed benchmarks must not fail the gate")
+	}
+	statuses := map[string]string{}
+	for _, l := range lines {
+		statuses[l.Name] = l.Status
+	}
+	if statuses["BenchmarkGone"] != "removed" || statuses["BenchmarkNew"] != "added" {
+		t.Errorf("statuses = %v, want removed/added", statuses)
+	}
+}
+
+func TestDiffCPUSuffixAligned(t *testing.T) {
+	// The same benchmark recorded at different GOMAXPROCS must still
+	// pair up (and regress when slower).
+	old := []benchEntry{entry("BenchmarkA-4", 1000)}
+	new := []benchEntry{entry("BenchmarkA-64", 2000)}
+	_, regressed := diffSnapshots(old, new, 0.15)
+	if !regressed {
+		t.Fatal("suffix-normalized names must pair across core counts")
+	}
+}
+
+func TestRenderDiffMentionsRegression(t *testing.T) {
+	old := []benchEntry{entry("BenchmarkA-8", 1000)}
+	new := []benchEntry{entry("BenchmarkA-8", 2000)}
+	lines, _ := diffSnapshots(old, new, 0.15)
+	out := renderDiff(lines, 0.15)
+	for _, want := range []string{"BenchmarkA", "REGRESSED", "+100.0%", "threshold: +15%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDedupeMinKeepsFastestRepetition(t *testing.T) {
+	entries := []benchEntry{
+		{Name: "BenchmarkStep-8", Iterations: 100, NsPerOp: 120},
+		{Name: "BenchmarkOther-8", Iterations: 50, NsPerOp: 900},
+		{Name: "BenchmarkStep-8", Iterations: 130, NsPerOp: 95},
+		{Name: "BenchmarkStep-8", Iterations: 110, NsPerOp: 101},
+	}
+	got := dedupeMin(entries)
+	if len(got) != 2 {
+		t.Fatalf("dedupeMin kept %d entries, want 2: %+v", len(got), got)
+	}
+	if got[0].NsPerOp != 95 || got[0].Iterations != 130 {
+		t.Errorf("fastest repetition not kept: got %+v", got[0])
+	}
+	if got[1].Name != "BenchmarkOther-8" {
+		t.Errorf("first-appearance order not preserved: got %+v", got)
+	}
+}

@@ -1,6 +1,8 @@
 #!/bin/sh
-# check.sh — the pre-merge gate: formatting, vet, and the full test
-# suite under the race detector. Run from anywhere inside the repo.
+# check.sh — the pre-merge gate: formatting, vet, package-doc
+# presence, the full test suite under the race detector, and (when at
+# least two BENCH_*.json snapshots exist) the kernel benchmark
+# regression diff. Run from anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,7 +18,47 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== package docs =="
+# Every package must carry a doc comment: some non-test file whose
+# `package` clause is immediately preceded by a comment line. Build
+# tags don't false-positive — gofmt keeps a blank line between
+# //go:build and the package clause.
+missing=""
+for dir in $(go list -f '{{.Dir}}' ./...); do
+	ok=0
+	for f in "$dir"/*.go; do
+		case "$f" in
+		*_test.go) continue ;;
+		esac
+		if awk '/^package /{ if (prev ~ /^\/\// || prev ~ /\*\/[[:space:]]*$/) found=1; exit } { prev=$0 } END{ exit !found }' "$f"; then
+			ok=1
+			break
+		fi
+	done
+	if [ "$ok" -ne 1 ]; then
+		missing="$missing $dir"
+	fi
+done
+if [ -n "$missing" ]; then
+	echo "packages missing a doc comment:" >&2
+	for dir in $missing; do
+		echo "  $dir" >&2
+	done
+	exit 1
+fi
+
 echo "== go test -race =="
 go test -race ./...
+
+echo "== benchdiff =="
+# Gate the two newest kernel benchmark snapshots against each other.
+# With fewer than two snapshots there is nothing to compare; run
+# scripts/bench.sh to record one.
+set -- $(ls -t BENCH_*.json 2>/dev/null || true)
+if [ "$#" -ge 2 ]; then
+	go run ./scripts "$2" "$1"
+else
+	echo "fewer than two BENCH_*.json snapshots; skipping"
+fi
 
 echo "all checks passed"
