@@ -63,9 +63,16 @@ func main() {
 	}
 
 	// Interrupts cancel the context; the spectral iterations and trace
-	// sampling behind slem/measure check it and abort promptly.
+	// sampling behind slem/measure check it and abort promptly, after
+	// which profiles are still flushed below. Once the context dies
+	// the handler is released, so a second signal takes the default
+	// disposition and hard-exits a wedged run.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	switch args[0] {
 	case "info":
 		err = cmdInfo(args[1:])
@@ -84,6 +91,7 @@ func main() {
 	case "profile":
 		err = cmdProfile(args[1:])
 	default:
+		stopProfiles() // usageExit never returns
 		usageExit()
 	}
 	// Flush profiles before the error exit so a failed run still

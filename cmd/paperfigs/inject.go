@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"mixtime/internal/runner"
+)
+
+// injection is the parsed form of the hidden -inject flag:
+// "id:mode[:n]" makes the first n attempts (default 1) of experiment
+// id fail in the requested way, after which the real driver runs.
+// Modes:
+//
+//	panic  the attempt panics (exercises recover + stack capture)
+//	hang   the attempt blocks until its context is cancelled
+//	       (exercises -exp-timeout and signal cancellation)
+//	fail   the attempt returns a transient error (exercises -retries)
+//
+// It exists so CI and operators can prove the fault-tolerance
+// machinery end to end on a real binary; it is not part of the
+// supported interface.
+type injection struct {
+	id   string
+	mode string
+	n    int32
+
+	fired atomic.Int32
+}
+
+// parseInject parses "id:mode[:n]". An empty spec returns nil.
+func parseInject(spec string) (*injection, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("bad -inject %q: want id:panic|hang|fail[:n]", spec)
+	}
+	inj := &injection{id: strings.TrimSpace(parts[0]), mode: strings.ToLower(parts[1]), n: 1}
+	if inj.id == "" {
+		return nil, fmt.Errorf("bad -inject %q: empty experiment id", spec)
+	}
+	switch inj.mode {
+	case "panic", "hang", "fail":
+	default:
+		return nil, fmt.Errorf("bad -inject %q: unknown mode %q", spec, inj.mode)
+	}
+	if len(parts) == 3 {
+		n, err := strconv.Atoi(parts[2])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -inject %q: count must be a positive integer", spec)
+		}
+		inj.n = int32(n)
+	}
+	return inj, nil
+}
+
+// wrap is the runner.Runner.WrapRun hook: attempts of the targeted
+// experiment fault until the injection budget is spent.
+func (inj *injection) wrap(d runner.Def, run runner.RunFunc) runner.RunFunc {
+	if inj == nil || !strings.EqualFold(d.ID, inj.id) && !strings.EqualFold(d.Name, inj.id) {
+		return run
+	}
+	return func(ctx context.Context, cfg runner.Config, obs runner.Observer) (runner.Result, error) {
+		if inj.fired.Add(1) > inj.n {
+			return run(ctx, cfg, obs)
+		}
+		switch inj.mode {
+		case "panic":
+			panic(fmt.Sprintf("injected panic in %s", d.ID))
+		case "hang":
+			<-ctx.Done()
+			return nil, ctx.Err()
+		default: // fail
+			return nil, errors.New("injected transient failure")
+		}
+	}
+}

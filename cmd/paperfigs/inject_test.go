@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"mixtime/internal/runner"
+)
+
+func TestParseInject(t *testing.T) {
+	for spec, want := range map[string]struct {
+		id, mode string
+		n        int32
+	}{
+		"T1:panic":    {"T1", "panic", 1},
+		"F3:hang:2":   {"F3", "hang", 2},
+		"fig8:fail:5": {"fig8", "fail", 5},
+	} {
+		got, err := parseInject(spec)
+		if err != nil {
+			t.Fatalf("parseInject(%q): %v", spec, err)
+		}
+		if got.id != want.id || got.mode != want.mode || got.n != want.n {
+			t.Errorf("parseInject(%q) = %s:%s:%d, want %+v", spec, got.id, got.mode, got.n, want)
+		}
+	}
+	if inj, err := parseInject(""); inj != nil || err != nil {
+		t.Errorf("parseInject(\"\") = %v, %v; want nil, nil", inj, err)
+	}
+	for _, bad := range []string{"T1", "T1:explode", "T1:fail:0", "T1:fail:x", ":panic", "a:b:c:d"} {
+		if _, err := parseInject(bad); err == nil {
+			t.Errorf("parseInject(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInjectionWrapTargetsOnlyNamedExperiment(t *testing.T) {
+	inj, err := parseInject("T1:fail:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := func(ctx context.Context, cfg runner.Config, obs runner.Observer) (runner.Result, error) {
+		return nil, errors.New("real driver ran")
+	}
+	// Non-matching experiments pass through untouched.
+	other := inj.wrap(runner.Def{ID: "F3", Name: "fig3"}, real)
+	if _, err := other(context.Background(), runner.Config{}, nil); err == nil ||
+		err.Error() != "real driver ran" {
+		t.Errorf("non-target wrapped: %v", err)
+	}
+	// The target faults for n attempts, then passes through. Legacy
+	// names resolve too (spec says T1, def carries both).
+	target := inj.wrap(runner.Def{ID: "T1", Name: "table1"}, real)
+	for i := 0; i < 2; i++ {
+		if _, err := target(context.Background(), runner.Config{}, nil); err == nil ||
+			!strings.Contains(err.Error(), "injected") {
+			t.Fatalf("attempt %d: err = %v, want injected failure", i+1, err)
+		}
+	}
+	if _, err := target(context.Background(), runner.Config{}, nil); err == nil ||
+		err.Error() != "real driver ran" {
+		t.Errorf("attempt 3: err = %v, want pass-through to real driver", err)
+	}
+}
+
+func TestInjectionPanicAndHangModes(t *testing.T) {
+	ok := func(ctx context.Context, cfg runner.Config, obs runner.Observer) (runner.Result, error) {
+		return nil, nil
+	}
+	inj, err := parseInject("X1:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := inj.wrap(runner.Def{ID: "X1"}, ok)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic mode did not panic")
+			}
+		}()
+		wrapped(context.Background(), runner.Config{}, nil)
+	}()
+
+	inj, err = parseInject("X1:hang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped = inj.wrap(runner.Def{ID: "X1"}, ok)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := wrapped(ctx, runner.Config{}, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("hang mode err = %v, want ctx.Err()", err)
+	}
+}
+
+// TestInjectedPanicEndToEnd drives the real wrap hook through the
+// runner exactly as `paperfigs -inject X:panic` does: the process
+// survives, only the target fails, and it fails with a PanicError.
+func TestInjectedPanicEndToEnd(t *testing.T) {
+	reg := runner.NewRegistry()
+	for _, id := range []string{"A", "X", "B"} {
+		id := id
+		reg.MustRegister(runner.Def{ID: id,
+			Run: func(ctx context.Context, cfg runner.Config, obs runner.Observer) (runner.Result, error) {
+				return nil, nil
+			}})
+	}
+	inj, err := parseInject("X:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &runner.Runner{Registry: reg, Jobs: 3, WrapRun: inj.wrap}
+	report, runErr := r.Run(context.Background(), runner.Config{})
+	if runErr == nil {
+		t.Fatal("injected panic not reported")
+	}
+	var pe *runner.PanicError
+	if !errors.As(report.Experiments[1].Err, &pe) {
+		t.Fatalf("X.Err = %v, want *PanicError", report.Experiments[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if e := report.Experiments[i]; e.Err != nil || e.Skipped {
+			t.Errorf("%s did not survive the injected panic: %+v", e.ID, e)
+		}
+	}
+}

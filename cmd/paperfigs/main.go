@@ -10,6 +10,13 @@
 // to `-jobs 1`. Artifact text goes to stdout; progress and the run
 // summary go to stderr.
 //
+// Long runs are fault-tolerant: a panicking or timing-out experiment
+// fails alone (retried under -retries) while the rest of the run
+// continues, -checkpoint persists every completed artifact so
+// -resume replays them byte-identically after a crash, and the first
+// SIGINT/SIGTERM cancels the run gracefully (checkpoints, partial
+// summary and profiles still written) while a second one hard-exits.
+//
 // Usage:
 //
 //	paperfigs                        # everything at the default scale
@@ -20,6 +27,9 @@
 //	paperfigs -csv out/ -json out/   # also write out/<id>.{csv,json}
 //	paperfigs -scale 0.01 -sources 1000 -seed 7
 //	paperfigs -block 16 -workers 2   # propagation block size, kernel workers
+//	paperfigs -retries 2 -retry-backoff 5s -exp-timeout 30m
+//	paperfigs -checkpoint run1       # persist completed artifacts
+//	paperfigs -checkpoint run1 -resume  # replay them after a crash
 //
 // IDs: T1, F1–F8, X1–X7. Legacy names: table1, fig1..fig8, attack,
 // conductance, whanau, trust, detection, defenses, whanau-lookup.
@@ -36,13 +46,19 @@ import (
 	"strings"
 	"syscall"
 
+	"mixtime/internal/checkpoint"
 	"mixtime/internal/cliutil"
 	"mixtime/internal/experiments"
 	"mixtime/internal/runner"
 	"mixtime/internal/telemetry"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body returning the exit code, so deferred cleanups
+// (profile flushing, signal-handler teardown) survive error paths —
+// os.Exit in main would skip them.
+func run() int {
 	scale := flag.Float64("scale", 0.005, "dataset scale factor")
 	sources := flag.Int("sources", runner.DefaultSources, "sampled sources per graph")
 	maxWalk := flag.Int("maxwalk", runner.DefaultMaxWalk, "maximum propagated walk length")
@@ -52,6 +68,12 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset (IDs like T1,F3 or legacy names)")
 	jobs := flag.Int("jobs", 1, "experiments to run in parallel (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts per failing experiment (panics and timeouts retry; 0 = fail fast)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "sleep before the first retry, doubling per retry")
+	expTimeout := flag.Duration("exp-timeout", 0, "per-experiment attempt deadline (fails the attempt, not the run; 0 = none)")
+	checkpointDir := flag.String("checkpoint", "", "directory persisting each completed experiment's artifacts")
+	resume := flag.Bool("resume", false, "with -checkpoint: replay completed experiments whose config fingerprint matches")
+	injectSpec := flag.String("inject", "", "(testing) inject faults: id:panic|hang|fail[:n]")
 	csvDir := flag.String("csv", "", "directory to write <id>.csv files")
 	jsonDir := flag.String("json", "", "directory to write <id>.json files")
 	quiet := flag.Bool("q", false, "suppress per-event progress on stderr")
@@ -66,24 +88,36 @@ func main() {
 		for _, d := range runner.Default().Defs() {
 			fmt.Printf("%-4s %-14s %s\n", d.ID, d.Name, d.Title)
 		}
-		return
+		return 0
+	}
+	if *resume && *checkpointDir == "" {
+		fmt.Fprintln(os.Stderr, "paperfigs: -resume requires -checkpoint DIR")
+		return 2
+	}
+	inject, err := parseInject(*injectSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		return 2
 	}
 
 	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile, *traceFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer stopProfiles()
 
 	cfg := experiments.Config{
-		Scale:       *scale,
-		Sources:     *sources,
-		MaxWalk:     *maxWalk,
-		Seed:        *seed,
-		SpectralTol: runner.DefaultSpectralTol,
-		BlockSize:   *block,
-		Workers:     *workers,
+		Scale:                *scale,
+		Sources:              *sources,
+		MaxWalk:              *maxWalk,
+		Seed:                 *seed,
+		SpectralTol:          runner.DefaultSpectralTol,
+		BlockSize:            *block,
+		Workers:              *workers,
+		MaxAttempts:          *retries + 1,
+		RetryBackoff:         *retryBackoff,
+		PerExperimentTimeout: *expTimeout,
 	}
 	if *telemetryOn {
 		cfg.Collector = telemetry.New()
@@ -100,13 +134,38 @@ func main() {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "paperfigs:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
 
+	var ckpt runner.Checkpointer
+	if *checkpointDir != "" {
+		store, err := checkpoint.Open(*checkpointDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			return 1
+		}
+		if *resume {
+			ckpt = store
+		} else {
+			// Without -resume the store only records: a stale directory
+			// never silently replays into a run that expects fresh work.
+			ckpt = saveOnly{store}
+		}
+	}
+
+	// First SIGINT/SIGTERM cancels the run: in-flight experiments stop
+	// at their next context check, completed work is checkpointed, the
+	// partial summary and the profiles are still written. Once the
+	// context dies the handler is released, so a second signal takes
+	// the default disposition and hard-exits.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -126,6 +185,18 @@ func main() {
 				}
 				fmt.Fprintf(os.Stderr, "paperfigs: %s %s (%.1fs)\n",
 					e.Experiment, status, e.Elapsed.Seconds())
+			case runner.KindExperimentResumed:
+				fmt.Fprintf(os.Stderr, "paperfigs: %s resumed from checkpoint (saved run took %.1fs)\n",
+					e.Experiment, e.Elapsed.Seconds())
+			case runner.KindAttemptFailed:
+				fmt.Fprintf(os.Stderr, "paperfigs: %s attempt %d failed: %v\n",
+					e.Experiment, e.Attempt, e.Err)
+			case runner.KindRetrying:
+				fmt.Fprintf(os.Stderr, "paperfigs: %s retrying (attempt %d) after %v backoff\n",
+					e.Experiment, e.Attempt, e.Elapsed)
+			case runner.KindCheckpointFailed:
+				fmt.Fprintf(os.Stderr, "paperfigs: %s checkpoint not saved: %v\n",
+					e.Experiment, e.Err)
 			case runner.KindDatasetDone:
 				fmt.Fprintf(os.Stderr, "paperfigs: %s: %s %d/%d\n",
 					e.Experiment, e.Dataset, e.Done, e.Total)
@@ -133,16 +204,19 @@ func main() {
 		})
 	}
 
-	r := &runner.Runner{Jobs: *jobs, Observer: obs}
+	r := &runner.Runner{Jobs: *jobs, Observer: obs, Checkpoint: ckpt}
+	if inject != nil {
+		r.WrapRun = inject.wrap
+	}
 	report, runErr := r.Run(ctx, cfg, keys...)
 	if report == nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", runErr)
-		os.Exit(1)
+		return 1
 	}
 
 	// Render in request order regardless of completion order — with
 	// per-experiment seeding this output is byte-identical for any
-	// -jobs value.
+	// -jobs value, and resumed artifacts replay the recorded bytes.
 	fmt.Printf("# paperfigs: scale=%v sources=%d maxwalk=%d seed=%d\n\n",
 		cfg.Scale, cfg.Sources, cfg.MaxWalk, cfg.Seed)
 	failed := false
@@ -155,20 +229,20 @@ func main() {
 		fmt.Printf("== %s (%s) ==\n%s\n", e.ID, e.Name, e.Result.Render())
 		if err := writeArtifact(*csvDir, e.ID, ".csv", e.Result.CSV); err != nil {
 			fmt.Fprintf(os.Stderr, "paperfigs: %s: csv: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := writeArtifact(*jsonDir, e.ID, ".json", e.Result.JSON); err != nil {
 			fmt.Fprintf(os.Stderr, "paperfigs: %s: json: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		if e.Telemetry != nil {
 			if err := writeArtifact(*csvDir, e.ID, ".telemetry.csv", e.Telemetry.CSV); err != nil {
 				fmt.Fprintf(os.Stderr, "paperfigs: %s: telemetry csv: %v\n", e.ID, err)
-				os.Exit(1)
+				return 1
 			}
 			if err := writeArtifact(*jsonDir, e.ID, ".telemetry.json", e.Telemetry.JSON); err != nil {
 				fmt.Fprintf(os.Stderr, "paperfigs: %s: telemetry json: %v\n", e.ID, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
@@ -180,8 +254,17 @@ func main() {
 		if runErr != nil {
 			fmt.Fprintln(os.Stderr, "paperfigs:", runErr)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// saveOnly records checkpoints without ever replaying them — the
+// behavior of -checkpoint without -resume.
+type saveOnly struct{ *checkpoint.Store }
+
+func (saveOnly) Lookup(string, runner.Config) (runner.CheckpointEntry, bool) {
+	return runner.CheckpointEntry{}, false
 }
 
 // writeArtifact writes one artifact file when dir is set.

@@ -160,10 +160,15 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: offset bounds [%d,%d] do not match %d neighbors",
 			g.offsets[0], g.offsets[n], len(g.neighbors))
 	}
+	// All offsets must be monotone before any adjacency slicing:
+	// HasEdge below indexes by the *neighbor's* offsets, which the
+	// per-node loop would not have vetted yet.
 	for v := 0; v < n; v++ {
 		if g.offsets[v] > g.offsets[v+1] {
 			return fmt.Errorf("graph: decreasing offsets at node %d", v)
 		}
+	}
+	for v := 0; v < n; v++ {
 		adj := g.Neighbors(NodeID(v))
 		for i, w := range adj {
 			if int(w) >= n {

@@ -31,6 +31,9 @@ func ReadArcList(r io.Reader) (*digraph.DiGraph, error) {
 					return nil, fmt.Errorf("graphio: line %d: bad nodes directive: %v", lineNo, err)
 				}
 				if n > 0 {
+					if err := checkNodeID(lineNo, n-1); err != nil {
+						return nil, err
+					}
 					b.AddNode(digraph.NodeID(n - 1))
 				}
 			}
@@ -47,6 +50,12 @@ func ReadArcList(r io.Reader) (*digraph.DiGraph, error) {
 		v, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
 			return nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
+		}
+		if err := checkNodeID(lineNo, u); err != nil {
+			return nil, err
+		}
+		if err := checkNodeID(lineNo, v); err != nil {
+			return nil, err
 		}
 		b.AddArc(digraph.NodeID(u), digraph.NodeID(v))
 	}

@@ -8,7 +8,17 @@
 //     ending in .gz are transparently (de)compressed.
 //
 //   - A compact binary CSR snapshot ("MIXG" format) for fast reload
-//     of large generated graphs.
+//     of large generated graphs. Version 2 stores the CSR arrays
+//     directly (offsets + symmetrized adjacency), so loading skips
+//     the builder's sort entirely; version 1 (edge pairs) is still
+//     read for old snapshots.
+//
+// All readers are hardened against corrupt or truncated input:
+// declared node/edge counts are sanity-capped against the file size
+// (when known) and against MaxLoadNodes before anything is
+// allocated, payloads are read incrementally so truncation fails
+// fast, and every malformed input returns a wrapped error — readers
+// never panic (fuzz-verified; see fuzz_test.go).
 package graphio
 
 import (
@@ -23,6 +33,29 @@ import (
 
 	"mixtime/internal/graph"
 )
+
+// DefaultMaxLoadNodes bounds the node count any reader accepts:
+// 2^28 (~268M) nodes covers every dataset of the paper's evaluation
+// at full scale with two orders of magnitude of headroom, while a
+// corrupt header declaring billions of vertices is rejected before
+// the CSR arrays it implies are allocated.
+const DefaultMaxLoadNodes = 1 << 28
+
+// MaxLoadNodes is the node-count cap the readers enforce on untrusted
+// input (node directives, edge endpoints, binary headers). Raise it
+// before loading a genuinely larger graph; the fuzz targets lower it.
+// It guards allocation size, not correctness: graphs under the cap
+// load identically for any setting above their node count.
+var MaxLoadNodes uint64 = DefaultMaxLoadNodes
+
+// checkNodeID rejects node IDs at or above MaxLoadNodes.
+func checkNodeID(lineNo int, id uint64) error {
+	if id >= MaxLoadNodes {
+		return fmt.Errorf("graphio: line %d: node %d exceeds load limit %d (raise graphio.MaxLoadNodes for larger graphs)",
+			lineNo, id, MaxLoadNodes)
+	}
+	return nil
+}
 
 // ReadEdgeList parses an edge-list stream into a graph.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
@@ -43,6 +76,9 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 					return nil, fmt.Errorf("graphio: line %d: bad nodes directive: %v", lineNo, err)
 				}
 				if n > 0 {
+					if err := checkNodeID(lineNo, n-1); err != nil {
+						return nil, err
+					}
 					b.AddNode(graph.NodeID(n - 1))
 				}
 			}
@@ -59,6 +95,12 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		v, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
 			return nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
+		}
+		if err := checkNodeID(lineNo, u); err != nil {
+			return nil, err
+		}
+		if err := checkNodeID(lineNo, v); err != nil {
+			return nil, err
 		}
 		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
 	}
@@ -91,7 +133,8 @@ func WriteEdgeList(w io.Writer, g *graph.Graph) error {
 
 // LoadFile reads a graph from path. ".gz" suffixes are decompressed;
 // a "MIXG" magic selects the binary format, anything else parses as
-// edge-list text.
+// edge-list text. For uncompressed binary files the file size bounds
+// the declared node/edge counts before any allocation.
 func LoadFile(path string) (*graph.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -99,6 +142,7 @@ func LoadFile(path string) (*graph.Graph, error) {
 	}
 	defer f.Close()
 	var r io.Reader = f
+	size := int64(-1) // unknown (compressed) by default
 	if strings.HasSuffix(path, ".gz") {
 		zr, err := gzip.NewReader(f)
 		if err != nil {
@@ -106,11 +150,13 @@ func LoadFile(path string) (*graph.Graph, error) {
 		}
 		defer zr.Close()
 		r = zr
+	} else if st, err := f.Stat(); err == nil {
+		size = st.Size()
 	}
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic, err := br.Peek(4)
 	if err == nil && string(magic) == binMagic {
-		return readBinary(br)
+		return readBinary(br, size)
 	}
 	return ReadEdgeList(br)
 }
@@ -147,56 +193,90 @@ func SaveFile(path string, g *graph.Graph) error {
 	return f.Close()
 }
 
-const binMagic = "MIXG"
+const (
+	binMagic = "MIXG"
+	// binHeaderLen is the fixed prefix every MIXG version shares:
+	// 4-byte magic, u32 version, u64 node count, u64 edge count.
+	binHeaderLen = 24
+	// chunkEntries is the incremental-read granularity for binary
+	// payload arrays: corrupt headers fail at the first short read
+	// instead of after one giant up-front allocation.
+	chunkEntries = 1 << 16
+)
 
-// WriteBinary writes the compact binary snapshot: magic, version,
-// node count, edge count, then each undirected edge as two uint32s.
+// WriteBinary writes the compact binary CSR snapshot (version 2):
+// the shared header, then the n+1 CSR offsets as uint64s, then the
+// 2m symmetrized adjacency entries as uint32s. Loading a v2 snapshot
+// validates and adopts the arrays directly — no re-sorting — so
+// large generated graphs reload in O(m).
 func WriteBinary(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binMagic); err != nil {
 		return err
 	}
-	hdr := make([]byte, 20)
-	binary.LittleEndian.PutUint32(hdr[0:], 1) // version
+	hdr := make([]byte, binHeaderLen-4)
+	binary.LittleEndian.PutUint32(hdr[0:], 2) // version
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(g.NumNodes()))
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(g.NumEdges()))
 	if _, err := bw.Write(hdr); err != nil {
 		return err
 	}
-	var werr error
-	buf := make([]byte, 8)
-	g.Edges(func(u, v graph.NodeID) bool {
-		binary.LittleEndian.PutUint32(buf[0:], u)
-		binary.LittleEndian.PutUint32(buf[4:], v)
-		if _, err := bw.Write(buf); err != nil {
-			werr = err
-			return false
+	offsets, neighbors := g.AppendCSR(nil, nil)
+	var buf [8]byte
+	for _, off := range offsets {
+		binary.LittleEndian.PutUint64(buf[:], uint64(off))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
 		}
-		return true
-	})
-	if werr != nil {
-		return werr
+	}
+	for _, v := range neighbors {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
 
-func readBinary(r io.Reader) (*graph.Graph, error) {
-	hdr := make([]byte, 24)
+// readBinary reads a MIXG snapshot (version 1 or 2). size is the
+// total input length in bytes when known, or negative when it is not
+// (compressed or streamed input); a known size caps the declared
+// counts before anything is allocated.
+func readBinary(r io.Reader, size int64) (*graph.Graph, error) {
+	hdr := make([]byte, binHeaderLen)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, fmt.Errorf("graphio: short binary header: %w", err)
 	}
 	if string(hdr[:4]) != binMagic {
 		return nil, fmt.Errorf("graphio: bad magic %q", hdr[:4])
 	}
-	if ver := binary.LittleEndian.Uint32(hdr[4:]); ver != 1 {
-		return nil, fmt.Errorf("graphio: unsupported version %d", ver)
-	}
+	ver := binary.LittleEndian.Uint32(hdr[4:])
 	n := binary.LittleEndian.Uint64(hdr[8:])
 	m := binary.LittleEndian.Uint64(hdr[16:])
-	if n > graph.MaxNodes {
-		return nil, fmt.Errorf("graphio: node count %d too large", n)
+	if n > MaxLoadNodes {
+		return nil, fmt.Errorf("graphio: node count %d exceeds load limit %d (raise graphio.MaxLoadNodes for larger graphs)",
+			n, MaxLoadNodes)
 	}
-	b := graph.NewBuilder(int(m))
+	switch ver {
+	case 1:
+		return readBinaryV1(r, n, m, size)
+	case 2:
+		return readBinaryV2(r, n, m, size)
+	default:
+		return nil, fmt.Errorf("graphio: unsupported version %d", ver)
+	}
+}
+
+// readBinaryV1 reads the legacy payload: m undirected edges as uint32
+// pairs, rebuilt through the Builder.
+func readBinaryV1(r io.Reader, n, m uint64, size int64) (*graph.Graph, error) {
+	if size >= 0 {
+		if max := uint64(size-binHeaderLen) / 8; size < binHeaderLen || m > max {
+			return nil, fmt.Errorf("graphio: edge count %d needs %d bytes, file has %d",
+				m, binHeaderLen+8*m, size)
+		}
+	}
+	b := graph.NewBuilder(int(min(m, chunkEntries)))
 	if n > 0 {
 		b.AddNode(graph.NodeID(n - 1))
 	}
@@ -213,4 +293,60 @@ func readBinary(r io.Reader) (*graph.Graph, error) {
 		b.AddEdge(u, v)
 	}
 	return b.Build(), nil
+}
+
+// readBinaryV2 reads the CSR payload: n+1 uint64 offsets then 2m
+// uint32 adjacency entries, validated (monotone offsets, sorted
+// in-range symmetric adjacency) and adopted without rebuilding.
+func readBinaryV2(r io.Reader, n, m uint64, size int64) (*graph.Graph, error) {
+	nOff, nAdj := graph.CSRSizes(int64(n), int64(m))
+	if size >= 0 {
+		need := int64(binHeaderLen) + 8*nOff + 4*nAdj
+		if need > size {
+			return nil, fmt.Errorf("graphio: CSR of %d nodes / %d edges needs %d bytes, file has %d",
+				n, m, need, size)
+		}
+	}
+	offsets := make([]int64, 0, min(uint64(nOff), chunkEntries))
+	buf := make([]byte, 8*chunkEntries)
+	for read := int64(0); read < nOff; {
+		batch := min(nOff-read, chunkEntries)
+		if _, err := io.ReadFull(r, buf[:8*batch]); err != nil {
+			return nil, fmt.Errorf("graphio: truncated at offset %d of %d: %w", read, nOff, err)
+		}
+		for i := int64(0); i < batch; i++ {
+			off := binary.LittleEndian.Uint64(buf[8*i:])
+			switch {
+			case off > uint64(nAdj):
+				return nil, fmt.Errorf("graphio: CSR offset %d of node %d exceeds adjacency length %d",
+					off, read+i, nAdj)
+			case len(offsets) == 0 && off != 0:
+				return nil, fmt.Errorf("graphio: CSR offsets start at %d, want 0", off)
+			case len(offsets) > 0 && int64(off) < offsets[len(offsets)-1]:
+				return nil, fmt.Errorf("graphio: non-monotone CSR offsets at node %d (%d after %d)",
+					read+i, off, offsets[len(offsets)-1])
+			}
+			offsets = append(offsets, int64(off))
+		}
+		read += batch
+	}
+	if last := offsets[len(offsets)-1]; last != nAdj {
+		return nil, fmt.Errorf("graphio: CSR offsets end at %d, want adjacency length %d", last, nAdj)
+	}
+	neighbors := make([]graph.NodeID, 0, min(uint64(nAdj), chunkEntries))
+	for read := int64(0); read < nAdj; {
+		batch := min(nAdj-read, chunkEntries)
+		if _, err := io.ReadFull(r, buf[:4*batch]); err != nil {
+			return nil, fmt.Errorf("graphio: truncated at adjacency entry %d of %d: %w", read, nAdj, err)
+		}
+		for i := int64(0); i < batch; i++ {
+			neighbors = append(neighbors, binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		read += batch
+	}
+	g, err := graph.FromCSR(offsets, neighbors)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return g, nil
 }

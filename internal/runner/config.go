@@ -1,6 +1,10 @@
 package runner
 
-import "mixtime/internal/telemetry"
+import (
+	"time"
+
+	"mixtime/internal/telemetry"
+)
 
 // Canonical experiment defaults. These used to be duplicated (with
 // silently different values) between core.Options and
@@ -68,6 +72,23 @@ type Config struct {
 	// pools can oversubscribe the cores, which wastes nothing but
 	// scheduling.
 	Workers int
+	// MaxAttempts is each experiment's attempt budget: a failing
+	// experiment (panic, per-attempt timeout, transient error) is
+	// retried until it succeeds or the budget is spent. 0 and 1 both
+	// mean a single attempt, i.e. no retries; fatal failures (run
+	// cancellation, errors marked runner.Fatal) never retry. Retries
+	// re-run the driver from the same Config, so a retried success is
+	// byte-identical to a first-attempt success.
+	MaxAttempts int
+	// RetryBackoff is the sleep before the second attempt; it doubles
+	// for each further retry and aborts early when the run is
+	// cancelled. Zero retries immediately.
+	RetryBackoff time.Duration
+	// PerExperimentTimeout bounds each attempt with a derived
+	// context.WithTimeout. The deadline fails only that attempt
+	// (classified retryable), never the whole run. Zero means no
+	// per-attempt deadline.
+	PerExperimentTimeout time.Duration
 	// Collector, if non-nil, turns kernel telemetry on: drivers thread
 	// it into the markov and spectral hot paths, which count edges
 	// scanned, matvecs, SpMM blocks, solver iterations and restarts

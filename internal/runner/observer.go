@@ -31,6 +31,22 @@ const (
 	// (Config.Collector non-nil); Telemetry carries that experiment's
 	// counter snapshot.
 	KindTelemetry
+	// KindAttemptFailed fires when one attempt of an experiment fails;
+	// Attempt is the 1-based attempt number, Err the failure and
+	// Elapsed the attempt's wall time. The experiment may still
+	// succeed on a later attempt.
+	KindAttemptFailed
+	// KindRetrying fires before a backoff sleep; Attempt is the
+	// upcoming attempt number and Elapsed the backoff about to be
+	// slept.
+	KindRetrying
+	// KindExperimentResumed fires when a checkpointed result is
+	// replayed instead of re-running the experiment.
+	KindExperimentResumed
+	// KindCheckpointFailed fires when persisting a completed
+	// experiment fails; the run itself stays successful, but the
+	// experiment will re-run on resume.
+	KindCheckpointFailed
 )
 
 // String names the kind for logs.
@@ -50,6 +66,14 @@ func (k EventKind) String() string {
 		return "stage-progress"
 	case KindTelemetry:
 		return "telemetry"
+	case KindAttemptFailed:
+		return "attempt-failed"
+	case KindRetrying:
+		return "retrying"
+	case KindExperimentResumed:
+		return "experiment-resumed"
+	case KindCheckpointFailed:
+		return "checkpoint-failed"
 	default:
 		return "unknown"
 	}
@@ -70,6 +94,10 @@ type Event struct {
 	Done, Total int
 	// Iterations carries iteration counters (e.g. SLEM matvecs).
 	Iterations int
+	// Attempt is the 1-based attempt number on KindAttemptFailed (the
+	// attempt that failed) and KindRetrying (the attempt about to
+	// start) events.
+	Attempt int
 	// Elapsed is the wall time of the finished unit, when measured.
 	Elapsed time.Duration
 	// Err is the failure attached to a finished experiment or run.

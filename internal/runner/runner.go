@@ -154,6 +154,13 @@ type ExperimentReport struct {
 	// Skipped reports the experiment never started because the run was
 	// cancelled first.
 	Skipped bool
+	// Attempts is the number of attempts consumed (1 for an untroubled
+	// run; up to Config.MaxAttempts when retries fired). Zero when the
+	// experiment was skipped or resumed from a checkpoint.
+	Attempts int
+	// Resumed reports the result was replayed from a checkpoint
+	// instead of re-running the driver.
+	Resumed bool
 	// Telemetry is the experiment's counter snapshot when the run was
 	// instrumented (Config.Collector non-nil), nil otherwise. Each
 	// experiment records into its own child collector, so these stay
@@ -190,6 +197,10 @@ func (rp *Report) Summary() string {
 			status = "skipped (cancelled)"
 		case e.Err != nil:
 			status = "error: " + e.Err.Error()
+		case e.Resumed:
+			status = "ok (resumed from checkpoint)"
+		case e.Attempts > 1:
+			status = fmt.Sprintf("ok (attempt %d)", e.Attempts)
 		}
 		fmt.Fprintf(&b, "  %-*s  %8.2fs  %s\n", width, e.ID, e.Elapsed.Seconds(), status)
 	}
@@ -257,6 +268,29 @@ func (rp *Report) TelemetryTable() string {
 	return b.String()
 }
 
+// CheckpointEntry is a previously completed experiment restored from
+// a Checkpointer: a byte-replayable Result plus the recorded wall
+// time and (if the original run was instrumented) telemetry.
+type CheckpointEntry struct {
+	Result    Result
+	Elapsed   time.Duration
+	Telemetry *telemetry.Snapshot
+}
+
+// Checkpointer persists completed experiments across process runs so
+// a killed run restarts where it died. internal/checkpoint provides
+// the file-backed implementation; the runner only needs lookups to
+// replay prior results and saves after each success. Implementations
+// must be safe for concurrent use by the worker pool.
+type Checkpointer interface {
+	// Lookup returns the replayable entry for an experiment previously
+	// completed under an equivalent Config, or false when the
+	// experiment must (re)run.
+	Lookup(id string, cfg Config) (CheckpointEntry, bool)
+	// Save persists a completed experiment's report.
+	Save(id string, cfg Config, rep *ExperimentReport) error
+}
+
 // Runner schedules registered experiments over a worker pool.
 type Runner struct {
 	// Registry to draw experiments from; nil means Default().
@@ -269,6 +303,16 @@ type Runner struct {
 	// Observer receives progress events. It need not be thread-safe:
 	// the runner serializes deliveries.
 	Observer Observer
+	// Checkpoint, if non-nil, persists each completed experiment and
+	// replays matching prior completions instead of re-running them
+	// (see internal/checkpoint).
+	Checkpoint Checkpointer
+	// WrapRun, if non-nil, wraps every experiment's Run function
+	// before the attempt loop executes it. It exists for fault
+	// injection — tests and the hidden paperfigs -inject flag use it
+	// to provoke panics, hangs and transient failures deterministically
+	// — and must not be used to change healthy experiment output.
+	WrapRun func(Def, RunFunc) RunFunc
 }
 
 // Run executes the named experiments (all registered ones when keys
@@ -337,6 +381,22 @@ func (r *Runner) Run(ctx context.Context, cfg Config, keys ...string) (*Report, 
 					rep.Err = fmt.Errorf("runner: %s skipped: %w", d.ID, err)
 					continue
 				}
+				// A matching checkpoint replays the prior result byte-for-
+				// byte instead of re-running the driver.
+				if r.Checkpoint != nil {
+					if entry, ok := r.Checkpoint.Lookup(d.ID, cfg); ok {
+						rep.Result, rep.Elapsed, rep.Resumed = entry.Result, entry.Elapsed, true
+						Emit(obs, Event{Kind: KindExperimentResumed, Experiment: d.ID,
+							Elapsed: entry.Elapsed})
+						if cfg.Collector != nil && entry.Telemetry != nil {
+							rep.Telemetry = entry.Telemetry
+							cfg.Collector.Merge(*entry.Telemetry)
+							Emit(obs, Event{Kind: KindTelemetry, Experiment: d.ID,
+								Telemetry: entry.Telemetry})
+						}
+						continue
+					}
+				}
 				// Instrumented runs give each experiment a child collector,
 				// merged into the run-wide one after the experiment returns;
 				// drivers still see a single cfg.Collector either way.
@@ -346,8 +406,8 @@ func (r *Runner) Run(ctx context.Context, cfg Config, keys ...string) (*Report, 
 				}
 				t0 := time.Now()
 				Emit(obs, Event{Kind: KindExperimentStarted, Experiment: d.ID})
-				res, err := d.Run(ctx, cfgi, stampedObserver{inner: obs, id: d.ID})
-				rep.Result, rep.Err = res, err
+				res, err, attempts := r.runAttempts(ctx, d, cfgi, stampedObserver{inner: obs, id: d.ID})
+				rep.Result, rep.Err, rep.Attempts = res, err, attempts
 				rep.Elapsed = time.Since(t0)
 				Emit(obs, Event{Kind: KindExperimentFinished, Experiment: d.ID,
 					Elapsed: rep.Elapsed, Err: err})
@@ -356,6 +416,11 @@ func (r *Runner) Run(ctx context.Context, cfg Config, keys ...string) (*Report, 
 					rep.Telemetry = &snap
 					cfg.Collector.Merge(snap)
 					Emit(obs, Event{Kind: KindTelemetry, Experiment: d.ID, Telemetry: &snap})
+				}
+				if r.Checkpoint != nil && err == nil {
+					if serr := r.Checkpoint.Save(d.ID, cfg, rep); serr != nil {
+						Emit(obs, Event{Kind: KindCheckpointFailed, Experiment: d.ID, Err: serr})
+					}
 				}
 			}
 		}()

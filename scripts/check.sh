@@ -50,6 +50,18 @@ fi
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fault-tolerance race gate =="
+# The retry/checkpoint machinery is the most concurrency-sensitive
+# code in the repo; re-run it uncached so a cached pass can never mask
+# a freshly introduced race.
+go test -race -count=1 ./internal/runner ./internal/telemetry ./internal/checkpoint
+
+echo "== graphio fuzz corpus =="
+# Execute the seed corpus of every fuzz target (no fuzzing engine —
+# deterministic and fast). Longer exploration:
+#   go test -fuzz=FuzzReadMIXG -fuzztime=30s ./internal/graphio
+go test -run='^Fuzz' ./internal/graphio
+
 echo "== benchdiff =="
 # Gate the two newest kernel benchmark snapshots against each other.
 # With fewer than two snapshots there is nothing to compare; run
