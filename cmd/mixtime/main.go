@@ -32,10 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"mixtime"
 	"mixtime/internal/cliutil"
@@ -64,15 +62,10 @@ func main() {
 
 	// Interrupts cancel the context; the spectral iterations and trace
 	// sampling behind slem/measure check it and abort promptly, after
-	// which profiles are still flushed below. Once the context dies
-	// the handler is released, so a second signal takes the default
-	// disposition and hard-exits a wedged run.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// which profiles are still flushed below. A second signal
+	// hard-exits a wedged run (see cliutil.SignalContext).
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		stop()
-	}()
 	switch args[0] {
 	case "info":
 		err = cmdInfo(args[1:])

@@ -1,0 +1,156 @@
+// Command mixtimed is the mixing-time service daemon: it loads a
+// graph registry once and answers measurement queries over HTTP until
+// told to stop.
+//
+// The registry is populated from -graphs (a directory of MIXG
+// snapshots or edge lists, ".gz" ok, one graph per file keyed by file
+// stem) and -datasets (comma-separated Table-1 dataset names, or
+// "all", generated at -scale with -seed). The wire contract is
+// internal/api; the endpoints are:
+//
+//	POST /v1/query   — slem | bounds | cdf | admission | experiment
+//	GET  /v1/graphs  — the registry listing
+//	GET  /healthz    — 200 while serving, 503 while draining
+//	GET  /stats      — service counters, kernel telemetry, pool/cache occupancy
+//
+// Results are cached by the sha256 fingerprint of (graph content
+// hash, output-determining parameters): concurrent identical queries
+// collapse onto one solve, and repeats replay from memory — watch
+// service_solves in /stats stay flat while service_cache_hits climbs.
+//
+// The first SIGINT/SIGTERM shuts down gracefully: the listener
+// closes, new queries are rejected with 503, in-flight ones run to
+// completion (up to -grace), and only then do outstanding solves get
+// cancelled. A second signal hard-exits (see cliutil.SignalContext).
+//
+// Usage:
+//
+//	mixtimed -datasets all -scale 0.01
+//	mixtimed -graphs snapshots/ -addr :8642
+//	mixtimed -datasets physics-1,dblp -addr 127.0.0.1:0 -addr-file addr.txt
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"mixtime/internal/api"
+	"mixtime/internal/cliutil"
+	"mixtime/internal/datasets"
+	"mixtime/internal/service"
+	"mixtime/internal/telemetry"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8642", "listen address (host:0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	graphsDir := flag.String("graphs", "", "directory of graph snapshots to serve (MIXG or edge lists)")
+	dataset := flag.String("datasets", "", `comma-separated Table-1 dataset names to generate and serve ("all" for every one)`)
+	scale := flag.Float64("scale", api.DefaultScale, "scale factor for generated datasets")
+	seed := flag.Uint64("seed", api.DefaultSeed, "seed for generated datasets")
+	pool := flag.Int("pool", 0, "max concurrent solves (0 = GOMAXPROCS); hits and joins bypass the pool")
+	cacheMax := flag.Int("cache-max", 0, "completed results kept before FIFO eviction (0 = default)")
+	solveTimeout := flag.Duration("solve-timeout", 0, "hard cap on any single solve (0 = none)")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests")
+	flag.Parse()
+
+	reg := service.NewRegistry()
+	if *graphsDir != "" {
+		n, err := reg.LoadDir(*graphsDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mixtimed:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "mixtimed: loaded %d graph(s) from %s\n", n, *graphsDir)
+	}
+	if *dataset != "" {
+		names := strings.Split(*dataset, ",")
+		if strings.TrimSpace(*dataset) == "all" {
+			names = datasets.Names()
+		}
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			e, err := reg.AddDataset(name, *scale, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mixtimed:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "mixtimed: generated %s (%d nodes, %d edges)\n",
+				e.Name, e.Graph.NumNodes(), e.Graph.NumEdges())
+		}
+	}
+	if reg.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "mixtimed: empty registry (pass -graphs DIR and/or -datasets NAMES; try -datasets all)")
+		return 2
+	}
+
+	// Two lifetimes: the signal context ends admission, the base
+	// context ends solves. They are separate so that draining requests
+	// keep their solves alive after the first signal.
+	ctx, stop := cliutil.SignalContext(context.Background())
+	defer stop()
+	base, cancelSolves := context.WithCancel(context.Background())
+	defer cancelSolves()
+
+	srv := service.New(base, reg, service.Config{
+		PoolSize:     *pool,
+		CacheMax:     *cacheMax,
+		SolveTimeout: *solveTimeout,
+		Collector:    telemetry.New(),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixtimed:", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mixtimed:", err)
+			return 1
+		}
+	}
+	fmt.Printf("mixtimed: serving %d graph(s) on http://%s\n", reg.Len(), bound)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "mixtimed: shutting down (draining in-flight requests)")
+		drained := make(chan struct{})
+		go func() {
+			srv.Drain()
+			close(drained)
+		}()
+		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		httpSrv.Shutdown(shCtx) //nolint:errcheck // grace expiry handled below
+		select {
+		case <-drained:
+		case <-shCtx.Done():
+			fmt.Fprintln(os.Stderr, "mixtimed: grace period expired, cancelling solves")
+		}
+		cancelSolves()
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "mixtimed:", err)
+		return 1
+	}
+	// Serve returned because Shutdown ran; wait for the drain path to
+	// finish cancelling solves before exiting.
+	<-base.Done()
+	fmt.Fprintln(os.Stderr, "mixtimed: bye")
+	return 0
+}

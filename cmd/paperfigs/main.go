@@ -41,14 +41,13 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
-	"syscall"
 
+	"mixtime/internal/api"
 	"mixtime/internal/checkpoint"
 	"mixtime/internal/cliutil"
-	"mixtime/internal/experiments"
+	_ "mixtime/internal/experiments" // registers the experiment drivers
 	"mixtime/internal/runner"
 	"mixtime/internal/telemetry"
 )
@@ -60,10 +59,10 @@ func main() { os.Exit(run()) }
 // os.Exit in main would skip them.
 func run() int {
 	scale := flag.Float64("scale", 0.005, "dataset scale factor")
-	sources := flag.Int("sources", runner.DefaultSources, "sampled sources per graph")
-	maxWalk := flag.Int("maxwalk", runner.DefaultMaxWalk, "maximum propagated walk length")
-	seed := flag.Uint64("seed", runner.DefaultSeed, "random seed")
-	block := flag.Int("block", runner.DefaultBlockSize, "sources propagated per blocked kernel pass")
+	sources := flag.Int("sources", api.DefaultSources, "sampled sources per graph")
+	maxWalk := flag.Int("maxwalk", api.DefaultMaxWalk, "maximum propagated walk length")
+	seed := flag.Uint64("seed", api.DefaultSeed, "random seed")
+	block := flag.Int("block", api.DefaultBlockSize, "sources propagated per blocked kernel pass")
 	workers := flag.Int("workers", 0, "kernel worker goroutines (0 = auto, 1 = sequential)")
 	only := flag.String("only", "", "comma-separated subset (IDs like T1,F3 or legacy names)")
 	jobs := flag.Int("jobs", 1, "experiments to run in parallel (0 = GOMAXPROCS)")
@@ -107,18 +106,26 @@ func run() int {
 	}
 	defer stopProfiles()
 
-	cfg := experiments.Config{
-		Scale:                *scale,
-		Sources:              *sources,
-		MaxWalk:              *maxWalk,
-		Seed:                 *seed,
-		SpectralTol:          runner.DefaultSpectralTol,
-		BlockSize:            *block,
-		Workers:              *workers,
-		MaxAttempts:          *retries + 1,
-		RetryBackoff:         *retryBackoff,
-		PerExperimentTimeout: *expTimeout,
+	// The flags land in the shared api.Params surface first — the same
+	// validation and defaults the daemon applies to wire requests —
+	// and bridge into the runner's Config from there.
+	params := api.Params{
+		Scale:       *scale,
+		Seed:        *seed,
+		Sources:     *sources,
+		MaxWalk:     *maxWalk,
+		SpectralTol: api.DefaultSpectralTol,
+		BlockSize:   *block,
+		Workers:     *workers,
 	}
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		return 2
+	}
+	cfg := runner.ConfigFromParams(params)
+	cfg.MaxAttempts = *retries + 1
+	cfg.RetryBackoff = *retryBackoff
+	cfg.PerExperimentTimeout = *expTimeout
 	if *telemetryOn {
 		cfg.Collector = telemetry.New()
 	}
@@ -157,15 +164,10 @@ func run() int {
 
 	// First SIGINT/SIGTERM cancels the run: in-flight experiments stop
 	// at their next context check, completed work is checkpointed, the
-	// partial summary and the profiles are still written. Once the
-	// context dies the handler is released, so a second signal takes
-	// the default disposition and hard-exits.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// partial summary and the profiles are still written; a second
+	// signal hard-exits (see cliutil.SignalContext).
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		stop()
-	}()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

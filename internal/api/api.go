@@ -1,0 +1,275 @@
+// Package api defines the versioned wire schema of the mixtimed
+// service: the Request/Response envelope of the unified query
+// endpoint, the typed result payloads (SLEM estimates, Sinclair
+// bounds, per-source mixing-time CDFs, SybilLimit admission), the
+// Document envelope that makes daemon experiment responses and
+// `paperfigs -json` artifacts the same JSON documents, and the single
+// validated Params surface every boundary shares.
+//
+// The package is the one source of truth for the protocol: the daemon
+// handlers (internal/service), the mixload client SDK (Client here),
+// and cmd/paperfigs flag parsing all consume these types, so the
+// three historically separate knob surfaces (core.Options,
+// spectral.Options, runner.Config) agree by construction at the wire.
+//
+// Versioning: every document carries SchemaVersion. Field names are
+// stable snake_case and pinned by golden tests; additive evolution
+// bumps nothing, renames and semantic changes bump SchemaVersion.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"mixtime/internal/telemetry"
+)
+
+// SchemaVersion is the wire-schema generation of every document this
+// package defines. Bumped on renames or semantic changes, never on
+// additive ones.
+const SchemaVersion = 1
+
+// The query operations the unified endpoint serves.
+const (
+	// OpSLEM estimates the second largest eigenvalue modulus of the
+	// graph's random walk (Lanczos or power per Params.Method).
+	OpSLEM = "slem"
+	// OpBounds computes the Sinclair mixing-time bounds over
+	// Params.EpsList from a SLEM estimate.
+	OpBounds = "bounds"
+	// OpCDF samples per-source variation-distance traces and returns
+	// the CDF of per-source mixing times at Params.Eps.
+	OpCDF = "cdf"
+	// OpAdmission runs SybilLimit with route length Params.MaxWalk
+	// over a sampled suspect set and reports the admission rate.
+	OpAdmission = "admission"
+	// OpExperiment runs a registered paper experiment (T1, F1–F8,
+	// X1–X7) and returns its Document — the same JSON `paperfigs
+	// -json` writes.
+	OpExperiment = "experiment"
+)
+
+// Ops lists the operations in a stable order (for listings and load
+// mixes).
+func Ops() []string {
+	return []string{OpSLEM, OpBounds, OpCDF, OpAdmission, OpExperiment}
+}
+
+// Request is the body of POST /v1/query.
+type Request struct {
+	// SchemaVersion is the client's schema generation; zero is
+	// accepted and read as "current".
+	SchemaVersion int `json:"schema_version,omitempty"`
+	// Op selects the operation (Op* constants).
+	Op string `json:"op"`
+	// Graph names a registry entry (snapshot file stem or dataset
+	// name). Required for every op but OpExperiment.
+	Graph string `json:"graph,omitempty"`
+	// Experiment is the registered experiment ID or legacy name for
+	// OpExperiment ("T1", "fig8", …).
+	Experiment string `json:"experiment,omitempty"`
+	// Params carries the knobs; unset fields take the canonical
+	// defaults.
+	Params Params `json:"params"`
+	// TimeoutMS, when positive, bounds this request with a deadline
+	// the handler propagates into the solve (capped by the server's
+	// own limit).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate checks the envelope and the embedded Params.
+func (r Request) Validate() error {
+	if r.SchemaVersion != 0 && r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("api: unsupported schema_version %d (server speaks %d)",
+			r.SchemaVersion, SchemaVersion)
+	}
+	switch r.Op {
+	case OpSLEM, OpBounds, OpCDF, OpAdmission:
+		if r.Graph == "" {
+			return fmt.Errorf("api: op %q needs a graph", r.Op)
+		}
+	case OpExperiment:
+		if r.Experiment == "" {
+			return fmt.Errorf("api: op %q needs an experiment ID", r.Op)
+		}
+	case "":
+		return fmt.Errorf("api: missing op (want one of %v)", Ops())
+	default:
+		return fmt.Errorf("api: unknown op %q (want one of %v)", r.Op, Ops())
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("api: timeout_ms %d must be non-negative", r.TimeoutMS)
+	}
+	return r.Params.Validate()
+}
+
+// Response is the body of every /v1/query answer. Exactly one result
+// field matching Op is set on success; Error is set instead on
+// failure.
+type Response struct {
+	SchemaVersion int    `json:"schema_version"`
+	Op            string `json:"op"`
+	Graph         string `json:"graph,omitempty"`
+	Experiment    string `json:"experiment,omitempty"`
+	// Fingerprint is the sha256 cache key of (graph identity,
+	// output-determining knobs) — equal requests share it.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// CacheHit reports the result was served from the completed-result
+	// cache without waiting on a solve.
+	CacheHit bool `json:"cache_hit"`
+	// ElapsedNS is the server-side time spent answering this request.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// Error is the failure message (the only field set besides the
+	// envelope on errors).
+	Error string `json:"error,omitempty"`
+
+	SLEM      *SLEMResult      `json:"slem,omitempty"`
+	Bounds    *BoundsResult    `json:"bounds,omitempty"`
+	CDF       *CDFResult       `json:"cdf,omitempty"`
+	Admission *AdmissionResult `json:"admission,omitempty"`
+	// Document is the experiment artifact for OpExperiment —
+	// byte-for-byte the document `paperfigs -json` writes.
+	Document json.RawMessage `json:"document,omitempty"`
+}
+
+// SLEMResult is the spectral estimate payload.
+type SLEMResult struct {
+	Mu         float64 `json:"mu"`
+	Lambda2    float64 `json:"lambda2"`
+	LambdaN    float64 `json:"lambda_n"`
+	Iterations int     `json:"iterations"`
+	Converged  bool    `json:"converged"`
+	Method     string  `json:"method"`
+	// Nodes and Edges describe the measured component (after LCC
+	// extraction).
+	Nodes int   `json:"nodes"`
+	Edges int64 `json:"edges"`
+}
+
+// BoundRow is one ε of a Sinclair bound sweep.
+type BoundRow struct {
+	Eps   float64 `json:"eps"`
+	Lower float64 `json:"lower"`
+	Upper float64 `json:"upper"`
+}
+
+// BoundsResult is the bounds payload: the SLEM it derives from plus
+// the per-ε rows.
+type BoundsResult struct {
+	SLEM SLEMResult `json:"slem"`
+	Rows []BoundRow `json:"rows"`
+	// LogN is ⌈ln n⌉, the fast-mixing yardstick the Sybil-defense
+	// literature assumes.
+	LogN int `json:"log_n"`
+}
+
+// CDFPoint is one step of a per-source mixing-time CDF.
+type CDFPoint struct {
+	// T is a walk length at which at least one more source first
+	// crossed ε.
+	T int `json:"t"`
+	// Frac is the fraction of sources mixed by T.
+	Frac float64 `json:"frac"`
+}
+
+// CDFResult is the per-source mixing-time CDF payload.
+type CDFResult struct {
+	Eps     float64 `json:"eps"`
+	Sources int     `json:"sources"`
+	MaxWalk int     `json:"max_walk"`
+	// Nodes and Edges describe the measured component.
+	Nodes int   `json:"nodes"`
+	Edges int64 `json:"edges"`
+	// SampledT is Definition 1's mixing time: the maximum first
+	// crossing over sources. Complete is false when some source never
+	// reached ε within MaxWalk (SampledT is then a lower bound).
+	SampledT int  `json:"sampled_t"`
+	Complete bool `json:"complete"`
+	// AvgT is the mean first crossing over sources that mixed.
+	AvgT   float64    `json:"avg_t"`
+	Points []CDFPoint `json:"points"`
+}
+
+// AdmissionResult is the SybilLimit admission payload.
+type AdmissionResult struct {
+	// Verifier is the sampled verifier node.
+	Verifier int64 `json:"verifier"`
+	// Suspects is the sampled suspect count.
+	Suspects int `json:"suspects"`
+	Accepted int `json:"accepted"`
+	// AcceptRate = Accepted/Suspects.
+	AcceptRate float64 `json:"accept_rate"`
+	// NoIntersection and BalanceRejected split the rejections.
+	NoIntersection  int `json:"no_intersection"`
+	BalanceRejected int `json:"balance_rejected"`
+	// R and W echo the effective protocol parameters (W is the
+	// requested MaxWalk).
+	R int `json:"r"`
+	W int `json:"w"`
+	// Nodes and Edges describe the measured component.
+	Nodes int   `json:"nodes"`
+	Edges int64 `json:"edges"`
+}
+
+// Document is the schema-versioned envelope around one experiment's
+// raw rows. `paperfigs -json` writes exactly this for every artifact
+// file, and OpExperiment responses embed the same document, so the
+// two are field-for-field interchangeable.
+type Document struct {
+	SchemaVersion int    `json:"schema_version"`
+	ID            string `json:"id"`
+	Name          string `json:"name,omitempty"`
+	Title         string `json:"title,omitempty"`
+	Rows          any    `json:"rows"`
+}
+
+// GraphInfo describes one registry entry of a running daemon.
+type GraphInfo struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Edges int64  `json:"edges"`
+	// Hash is the content identity of the loaded component — the graph
+	// part of every fingerprint.
+	Hash string `json:"hash"`
+	// Origin says where the graph came from: "file:<path>" or
+	// "dataset:<name>:<scale>".
+	Origin string `json:"origin"`
+}
+
+// GraphsResponse is the body of GET /v1/graphs.
+type GraphsResponse struct {
+	SchemaVersion int         `json:"schema_version"`
+	Graphs        []GraphInfo `json:"graphs"`
+}
+
+// StatsResponse is the body of GET /stats: service counters (served
+// from the internal/telemetry collector) plus the kernel counters the
+// solves accumulated.
+type StatsResponse struct {
+	SchemaVersion int   `json:"schema_version"`
+	UptimeNS      int64 `json:"uptime_ns"`
+	Pool          int   `json:"pool"`
+	Graphs        int   `json:"graphs"`
+	CacheEntries  int   `json:"cache_entries"`
+	// Telemetry carries the full counter snapshot; the service_*
+	// counters (requests, cache hits/misses, singleflight joins,
+	// solves, errors) live beside the kernel counters the solves
+	// incremented.
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// Fingerprint canonically hashes everything a query result depends
+// on: the schema generation, the op, the graph's content identity (or
+// the experiment ID), and the output-determining Params (see
+// Params.Canon for what is deliberately excluded). This generalizes
+// internal/checkpoint's fingerprint discipline from crash-resume to
+// request dedup: equal fingerprints may share one solve, different
+// fingerprints never collide on a cache entry.
+func Fingerprint(req Request, graphHash string) string {
+	canon := fmt.Sprintf("v%d|op=%s|graph=%s|exp=%s|%s",
+		SchemaVersion, req.Op, graphHash, req.Experiment, req.Params.Canon())
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,147 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the minimal SDK the mixload generator (and tests) use to
+// talk to a mixtimed daemon. The zero value is not usable; construct
+// with NewClient.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7411".
+	BaseURL string
+	// HTTPClient is the transport; NewClient installs a default with
+	// sane timeouts.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL ("host:port"
+// is accepted and gets the scheme prepended).
+func NewClient(baseURL string) *Client {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		HTTPClient: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// Query posts req to /v1/query and decodes the response. A non-2xx
+// status with a decodable Response body returns that response along
+// with an error carrying its Error field, so callers can distinguish
+// server-reported failures from transport ones.
+func (c *Client) Query(ctx context.Context, req Request) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("api: marshal request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("api: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.HTTPClient.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("api: %w", err)
+	}
+	defer hres.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hres.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("api: read response: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("api: status %d, undecodable body: %w", hres.StatusCode, err)
+	}
+	if hres.StatusCode != http.StatusOK {
+		msg := resp.Error
+		if msg == "" {
+			msg = http.StatusText(hres.StatusCode)
+		}
+		return &resp, fmt.Errorf("api: %s: %s", hres.Status, msg)
+	}
+	return &resp, nil
+}
+
+// Graphs fetches the daemon's registry listing.
+func (c *Client) Graphs(ctx context.Context) (*GraphsResponse, error) {
+	var out GraphsResponse
+	if err := c.getJSON(ctx, "/v1/graphs", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the daemon's counter snapshot.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.getJSON(ctx, "/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz reports whether the daemon answers its health endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
+	hres, err := c.HTTPClient.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
+	io.Copy(io.Discard, hres.Body)
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("api: healthz: %s", hres.Status)
+	}
+	return nil
+}
+
+// WaitReady polls /healthz until the daemon answers, the interval
+// elapsing between attempts, or ctx expires.
+func (c *Client) WaitReady(ctx context.Context, interval time.Duration) error {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		if err := c.Healthz(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("api: daemon not ready: %w", ctx.Err())
+		case <-time.After(interval):
+		}
+	}
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
+	hres, err := c.HTTPClient.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, hres.Body)
+		return fmt.Errorf("api: %s: %s", path, hres.Status)
+	}
+	if err := json.NewDecoder(hres.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decode %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext installs the shared first-graceful/second-hard
+// interrupt discipline every binary uses: the returned context is
+// cancelled on the first SIGINT/SIGTERM (long loops notice at their
+// next context check, cleanups and profile flushes still run), and
+// the moment it dies — from a signal, a timeout ancestor, or the
+// returned stop — the handler is released, so a second signal takes
+// the default disposition and hard-exits a wedged process.
+//
+// This used to be duplicated (goroutine included) across
+// cmd/paperfigs and cmd/mixtime; paperfigs, mixtime, mixtimed and
+// mixload all call this now. The caller must defer stop.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}

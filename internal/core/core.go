@@ -14,28 +14,29 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"mixtime/internal/api"
 	"mixtime/internal/graph"
 	"mixtime/internal/markov"
-	"mixtime/internal/runner"
 	"mixtime/internal/spectral"
 	"mixtime/internal/telemetry"
 )
 
 // Options configures a measurement. The numeric defaults are the
-// project-wide canonical values from internal/runner (Sources 200,
-// MaxWalk 500, SpectralTol 1e-7) so that core measurements and the
-// experiment drivers agree on what an unset field means.
+// project-wide canonical values from internal/api (Sources 200,
+// MaxWalk 500, SpectralTol 1e-7) so that core measurements, the
+// experiment drivers and the service wire schema agree on what an
+// unset field means.
 type Options struct {
 	// Sources is the number of sampled start vertices for the direct
-	// measurement (default runner.DefaultSources; the paper uses 1000
+	// measurement (default api.DefaultSources; the paper uses 1000
 	// on large graphs and every vertex on small ones). Sources ≥ n
 	// measures from every vertex (the brute-force mode of Figures 3–5).
 	Sources int
 	// MaxWalk caps the propagated walk length per source
-	// (default runner.DefaultMaxWalk).
+	// (default api.DefaultMaxWalk).
 	MaxWalk int
 	// SpectralTol is the SLEM tolerance
-	// (default runner.DefaultSpectralTol).
+	// (default api.DefaultSpectralTol).
 	SpectralTol float64
 	// Seed drives source sampling and the spectral start vector. Zero
 	// is a usable seed, not a sentinel: Measure never rewrites it.
@@ -55,7 +56,7 @@ type Options struct {
 	// byte-identical for any value.
 	Workers int
 	// BlockSize is the number of source distributions propagated per
-	// blocked CSR pass (default runner.DefaultBlockSize); 1 degenerates
+	// blocked CSR pass (default api.DefaultBlockSize); 1 degenerates
 	// to per-source matvecs. Traces are byte-identical for any value.
 	BlockSize int
 	// Progress, if non-nil, is called as long stages advance: stage is
@@ -74,25 +75,25 @@ type Options struct {
 // seed is applied; a zero Seed set explicitly on Options stays zero.
 func DefaultOptions() Options {
 	return Options{
-		Sources:     runner.DefaultSources,
-		MaxWalk:     runner.DefaultMaxWalk,
-		SpectralTol: runner.DefaultSpectralTol,
-		Seed:        runner.DefaultSeed,
+		Sources:     api.DefaultSources,
+		MaxWalk:     api.DefaultMaxWalk,
+		SpectralTol: api.DefaultSpectralTol,
+		Seed:        api.DefaultSeed,
 	}
 }
 
 func (o Options) withDefaults() Options {
 	if o.Sources <= 0 {
-		o.Sources = runner.DefaultSources
+		o.Sources = api.DefaultSources
 	}
 	if o.MaxWalk <= 0 {
-		o.MaxWalk = runner.DefaultMaxWalk
+		o.MaxWalk = api.DefaultMaxWalk
 	}
 	if o.SpectralTol <= 0 {
-		o.SpectralTol = runner.DefaultSpectralTol
+		o.SpectralTol = api.DefaultSpectralTol
 	}
 	if o.BlockSize <= 0 {
-		o.BlockSize = runner.DefaultBlockSize
+		o.BlockSize = api.DefaultBlockSize
 	}
 	// Seed is deliberately not defaulted here: 0 is a valid PCG seed
 	// and rewriting it would make the zero seed unusable.

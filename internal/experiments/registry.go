@@ -7,16 +7,22 @@ import (
 	"io"
 	"strings"
 
+	"mixtime/internal/api"
 	"mixtime/internal/runner"
 )
 
 // artifact adapts a driver's typed rows to runner.Result: rendering
-// and CSV delegate to the artifact-specific closures, JSON marshals
-// the rows directly (each row type already has exported fields).
+// and CSV delegate to the artifact-specific closures, JSON emits the
+// rows inside the versioned api.Document envelope (schema_version,
+// id, name, title, rows) so that a `paperfigs -json` file and a
+// mixtimed OpExperiment response are the same document. The id/name/
+// title fields are stamped by the registration wrapper, so the
+// per-experiment closures stay envelope-unaware.
 type artifact struct {
-	rows   any
-	render func() string
-	csv    func(io.Writer) error
+	id, name, title string
+	rows            any
+	render          func() string
+	csv             func(io.Writer) error
 }
 
 func (a *artifact) Render() string        { return a.render() }
@@ -24,7 +30,26 @@ func (a *artifact) CSV(w io.Writer) error { return a.csv(w) }
 func (a *artifact) JSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(a.rows)
+	return enc.Encode(api.Document{
+		SchemaVersion: api.SchemaVersion,
+		ID:            a.id,
+		Name:          a.name,
+		Title:         a.title,
+		Rows:          a.rows,
+	})
+}
+
+// stampArtifact wraps a Def's Run so the artifact it returns knows
+// its registry identity — what the JSON envelope reports.
+func stampArtifact(d runner.Def) runner.RunFunc {
+	inner := d.Run
+	return func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+		res, err := inner(ctx, cfg, obs)
+		if a, ok := res.(*artifact); ok && a != nil {
+			a.id, a.name, a.title = d.ID, d.Name, d.Title
+		}
+		return res, err
+	}
 }
 
 // RenderCDFGroups draws one chart per dataset from a long-form CDF
@@ -251,6 +276,7 @@ func init() {
 			}},
 	}
 	for _, d := range reg {
+		d.Run = stampArtifact(d)
 		runner.MustRegister(d)
 	}
 }

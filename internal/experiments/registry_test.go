@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"mixtime/internal/api"
 	"mixtime/internal/runner"
 )
 
@@ -167,10 +168,23 @@ func TestArtifactEmission(t *testing.T) {
 	if err := res.JSON(&js); err != nil {
 		t.Fatal(err)
 	}
-	var rows []WhanauRow
-	if err := json.Unmarshal(js.Bytes(), &rows); err != nil {
+	var doc struct {
+		SchemaVersion int         `json:"schema_version"`
+		ID            string      `json:"id"`
+		Name          string      `json:"name"`
+		Rows          []WhanauRow `json:"rows"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
 		t.Errorf("JSON does not round-trip: %v", err)
-	} else if len(rows) == 0 {
-		t.Error("JSON decoded to zero rows")
+	} else {
+		if doc.SchemaVersion != api.SchemaVersion {
+			t.Errorf("schema_version = %d, want %d", doc.SchemaVersion, api.SchemaVersion)
+		}
+		if doc.ID != "X3" || doc.Name != "whanau" {
+			t.Errorf("envelope identity = %q/%q, want X3/whanau", doc.ID, doc.Name)
+		}
+		if len(doc.Rows) == 0 {
+			t.Error("JSON decoded to zero rows")
+		}
 	}
 }

@@ -3,38 +3,23 @@ package runner
 import (
 	"time"
 
+	"mixtime/internal/api"
 	"mixtime/internal/telemetry"
 )
 
-// Canonical experiment defaults. These used to be duplicated (with
-// silently different values) between core.Options and
-// experiments.Config; every layer now reads the single set below.
+// Canonical experiment defaults. The single source of truth now lives
+// in internal/api (the versioned wire schema shares them with the
+// daemon and the load generator); these aliases remain so existing
+// callers keep compiling.
 //
-// The values follow the evaluation harness: Scale 0.01 turns the
-// paper's million-node graphs into ~10k-node substitutes, Sources 200
-// approximates the paper's 1000-source sampling at reproduction
-// scale, MaxWalk 500 is the paper's longest probe, and SpectralTol
-// 1e-7 resolves µ to more digits than Table 1 reports.
+// Deprecated: read the api.Default* constants directly.
 const (
-	// DefaultScale multiplies every dataset's node count.
-	DefaultScale = 0.01
-	// DefaultSeed is the seed DefaultConfig starts from. It is applied
-	// only by constructors (DefaultConfig, core.DefaultOptions): a
-	// zero-valued Seed in a hand-built Config is a valid seed and is
-	// never rewritten.
-	DefaultSeed = 1
-	// DefaultSources is the number of sampled start vertices for
-	// direct measurements.
-	DefaultSources = 200
-	// DefaultMaxWalk caps propagated walk lengths.
-	DefaultMaxWalk = 500
-	// DefaultSpectralTol is the SLEM eigenvalue tolerance.
-	DefaultSpectralTol = 1e-7
-	// DefaultBlockSize is the number of source distributions a blocked
-	// trace propagation (SpMM) serves per CSR pass: eight doubles per
-	// source fills one 64-byte cache line, amortizing every adjacency
-	// index load across a full line of right-hand sides.
-	DefaultBlockSize = 8
+	DefaultScale       = api.DefaultScale
+	DefaultSeed        = api.DefaultSeed
+	DefaultSources     = api.DefaultSources
+	DefaultMaxWalk     = api.DefaultMaxWalk
+	DefaultSpectralTol = api.DefaultSpectralTol
+	DefaultBlockSize   = api.DefaultBlockSize
 )
 
 // Config scales and seeds an experiment run. It is the uniform
@@ -136,4 +121,22 @@ func (c Config) WithDefaults() Config {
 	// Workers is deliberately left alone: 0 means "GOMAXPROCS where it
 	// pays off", which is the default behaviour.
 	return c
+}
+
+// ConfigFromParams bridges the wire-schema parameter surface into the
+// runner's Config: the shared knobs copy over, the runner-only ones
+// (retries, timeouts, collector) stay zero for the caller to fill.
+// Params is the boundary type; Config stays the internal carrier the
+// drivers consume.
+func ConfigFromParams(p api.Params) Config {
+	p = p.WithDefaults()
+	return Config{
+		Scale:       p.Scale,
+		Seed:        p.Seed,
+		Sources:     p.Sources,
+		MaxWalk:     p.MaxWalk,
+		SpectralTol: p.SpectralTol,
+		BlockSize:   p.BlockSize,
+		Workers:     p.Workers,
+	}
 }

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"mixtime/internal/api"
+	"mixtime/internal/telemetry"
+)
+
+// Outcomes of a cache lookup, mirrored into the service_* telemetry
+// counters.
+const (
+	outcomeHit  = "hit"  // completed entry, answered in O(lookup)
+	outcomeJoin = "join" // deduplicated onto an in-flight identical solve
+	outcomeMiss = "miss" // spawned the solve
+)
+
+// cache is the fingerprint-keyed result cache with singleflight
+// dedup: N concurrent identical queries trigger one solve, completed
+// results replay from memory, and errors are never cached.
+//
+// The solve runs detached from any single requester — its context
+// descends from the server lifecycle, not from the request that
+// happened to arrive first — so one waiter cancelling (or timing out)
+// never poisons the result the others are waiting for. Waiters are
+// refcounted: when the last one abandons an in-flight solve, the
+// solve itself is cancelled and the entry forgotten, so nobody pays
+// for work nobody wants.
+type cache struct {
+	base    context.Context // server lifecycle: solves die with the daemon
+	timeout time.Duration   // per-solve cap (0 = none)
+	col     *telemetry.Collector
+	max     int // completed entries kept; oldest evicted first
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []string // completed fingerprints, oldest first
+}
+
+// entry is one fingerprint's slot: in flight until done closes,
+// completed (and cacheable) afterwards iff err is nil.
+type entry struct {
+	fp      string
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int // guarded by cache.mu; meaningful only in flight
+	resp    *api.Response
+	err     error
+}
+
+func newCache(base context.Context, timeout time.Duration, max int, col *telemetry.Collector) *cache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &cache{
+		base:    base,
+		timeout: timeout,
+		col:     col,
+		max:     max,
+		entries: map[string]*entry{},
+	}
+}
+
+// len returns the number of live entries (completed + in flight).
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// do answers fingerprint fp: from the completed cache, by joining an
+// in-flight identical solve, or by spawning solve. The returned
+// outcome says which. ctx governs only this caller's wait; the solve
+// owns its own lifecycle.
+func (c *cache) do(ctx context.Context, fp string, solve func(context.Context) (*api.Response, error)) (*api.Response, string, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[fp]; ok {
+		select {
+		case <-e.done:
+			// Completed. Errors are never left in the map, so this is a
+			// replayable success.
+			c.mu.Unlock()
+			c.col.Add(telemetry.ServiceCacheHits, 1)
+			return e.resp, outcomeHit, nil
+		default:
+			e.waiters++
+			c.mu.Unlock()
+			c.col.Add(telemetry.ServiceJoins, 1)
+			resp, err := c.wait(ctx, e)
+			return resp, outcomeJoin, err
+		}
+	}
+	sctx, cancel := context.WithCancel(c.base)
+	if c.timeout > 0 {
+		sctx, cancel = context.WithTimeout(c.base, c.timeout)
+	}
+	e := &entry{fp: fp, done: make(chan struct{}), cancel: cancel, waiters: 1}
+	c.entries[fp] = e
+	c.mu.Unlock()
+	c.col.Add(telemetry.ServiceCacheMisses, 1)
+	c.col.Add(telemetry.ServiceSolves, 1)
+	go c.run(sctx, e, solve)
+	resp, err := c.wait(ctx, e)
+	return resp, outcomeMiss, err
+}
+
+// run executes the solve and commits the outcome: successes stay
+// cached (with FIFO eviction), failures free the slot so the next
+// identical request retries.
+func (c *cache) run(sctx context.Context, e *entry, solve func(context.Context) (*api.Response, error)) {
+	resp, err := solve(sctx)
+	e.cancel()
+	c.mu.Lock()
+	e.resp, e.err = resp, err
+	close(e.done)
+	if err != nil {
+		// Only forget the entry if it is still ours: a failed solve may
+		// linger past its eviction or replacement.
+		if c.entries[e.fp] == e {
+			delete(c.entries, e.fp)
+		}
+	} else {
+		c.order = append(c.order, e.fp)
+		for len(c.order) > c.max {
+			old := c.order[0]
+			c.order = c.order[1:]
+			if oe, ok := c.entries[old]; ok && oe != e {
+				delete(c.entries, old)
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+// wait blocks until the entry completes or the caller's ctx dies. A
+// dying waiter decrements the refcount; the last one out cancels the
+// solve and forgets the entry.
+func (c *cache) wait(ctx context.Context, e *entry) (*api.Response, error) {
+	select {
+	case <-e.done:
+		return e.resp, e.err
+	case <-ctx.Done():
+	}
+	c.mu.Lock()
+	select {
+	case <-e.done:
+		// Completed while we were giving up — take the result after all.
+		c.mu.Unlock()
+		return e.resp, e.err
+	default:
+	}
+	e.waiters--
+	if e.waiters <= 0 {
+		e.cancel()
+		if c.entries[e.fp] == e {
+			delete(c.entries, e.fp)
+		}
+	}
+	c.mu.Unlock()
+	return nil, ctx.Err()
+}

@@ -1,0 +1,239 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mixtime/internal/api"
+	"mixtime/internal/telemetry"
+)
+
+// TestSingleflightCollapses checks the core dedup invariant: any
+// number of concurrent identical queries trigger exactly one solve,
+// and every caller sees the same bytes.
+func TestSingleflightCollapses(t *testing.T) {
+	col := telemetry.New()
+	c := newCache(context.Background(), 0, 0, col)
+	var solves atomic.Int64
+	release := make(chan struct{})
+	solve := func(context.Context) (*api.Response, error) {
+		solves.Add(1)
+		<-release
+		return &api.Response{Op: api.OpSLEM, SLEM: &api.SLEMResult{Mu: 0.5}}, nil
+	}
+
+	const n = 32
+	var wg sync.WaitGroup
+	responses := make([]*api.Response, n)
+	outcomes := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, outcome, err := c.do(context.Background(), "fp", solve)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			responses[i], outcomes[i] = resp, outcome
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := solves.Load(); got != 1 {
+		t.Fatalf("solves = %d, want 1 (singleflight must collapse identical queries)", got)
+	}
+	var first []byte
+	misses := 0
+	for i, resp := range responses {
+		b, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = b
+		} else if !bytes.Equal(first, b) {
+			t.Fatalf("caller %d saw different bytes:\n%s\nvs\n%s", i, b, first)
+		}
+		if outcomes[i] == outcomeMiss {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 (the solve spawner)", misses)
+	}
+	if got := col.Count(telemetry.ServiceSolves); got != 1 {
+		t.Fatalf("service_solves = %d, want 1", got)
+	}
+
+	// A fresh call replays from the completed cache without solving.
+	resp, outcome, err := c.do(context.Background(), "fp", solve)
+	if err != nil || outcome != outcomeHit {
+		t.Fatalf("replay: outcome=%q err=%v, want hit", outcome, err)
+	}
+	if b, _ := json.Marshal(resp); !bytes.Equal(b, first) {
+		t.Fatalf("cache hit bytes differ from the miss:\n%s\nvs\n%s", b, first)
+	}
+	if got := solves.Load(); got != 1 {
+		t.Fatalf("solves after replay = %d, want 1", got)
+	}
+}
+
+// TestCacheErrorsNotCached checks that a failed solve frees its slot:
+// the next identical request retries instead of replaying the error.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newCache(context.Background(), 0, 0, telemetry.New())
+	boom := errors.New("boom")
+	fail := func(context.Context) (*api.Response, error) { return nil, boom }
+	if _, _, err := c.do(context.Background(), "fp", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := c.len(); got != 0 {
+		t.Fatalf("entries after failed solve = %d, want 0", got)
+	}
+	ok := func(context.Context) (*api.Response, error) {
+		return &api.Response{Op: api.OpSLEM}, nil
+	}
+	resp, outcome, err := c.do(context.Background(), "fp", ok)
+	if err != nil || resp == nil || outcome != outcomeMiss {
+		t.Fatalf("retry after error: outcome=%q resp=%v err=%v, want a fresh miss", outcome, resp, err)
+	}
+}
+
+// TestWaiterCancellationDoesNotPoison checks that one waiter
+// abandoning an in-flight solve leaves the result intact for the
+// others: the solve belongs to the server, not to any requester.
+func TestWaiterCancellationDoesNotPoison(t *testing.T) {
+	c := newCache(context.Background(), 0, 0, telemetry.New())
+	release := make(chan struct{})
+	var solves atomic.Int64
+	solve := func(sctx context.Context) (*api.Response, error) {
+		solves.Add(1)
+		select {
+		case <-release:
+			return &api.Response{Op: api.OpSLEM, SLEM: &api.SLEMResult{Mu: 0.25}}, nil
+		case <-sctx.Done():
+			return nil, sctx.Err()
+		}
+	}
+
+	// First caller spawns the solve and blocks.
+	started := make(chan struct{})
+	survivor := make(chan error, 1)
+	go func() {
+		close(started)
+		resp, _, err := c.do(context.Background(), "fp", solve)
+		if err == nil && (resp == nil || resp.SLEM == nil || resp.SLEM.Mu != 0.25) {
+			err = errors.New("survivor got a mangled response")
+		}
+		survivor <- err
+	}()
+	<-started
+	waitForEntry(t, c, "fp")
+
+	// Second caller joins, then cancels. It must get its own ctx error
+	// while the solve keeps running for the survivor.
+	ctx, cancel := context.WithCancel(context.Background())
+	joined := make(chan error, 1)
+	go func() {
+		_, outcome, err := c.do(ctx, "fp", solve)
+		if outcome != outcomeJoin {
+			err = errors.New("expected to join the in-flight solve, got " + outcome)
+		}
+		joined <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the join register
+	cancel()
+	if err := <-joined; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: err = %v, want context.Canceled", err)
+	}
+
+	close(release)
+	if err := <-survivor; err != nil {
+		t.Fatalf("surviving waiter: %v", err)
+	}
+	if got := solves.Load(); got != 1 {
+		t.Fatalf("solves = %d, want 1", got)
+	}
+}
+
+// TestLastWaiterCancelsSolve checks the refcount edge: when the only
+// waiter gives up, the solve's context dies and the entry is
+// forgotten, so nobody pays for work nobody wants.
+func TestLastWaiterCancelsSolve(t *testing.T) {
+	c := newCache(context.Background(), 0, 0, telemetry.New())
+	solveCancelled := make(chan struct{})
+	solve := func(sctx context.Context) (*api.Response, error) {
+		<-sctx.Done()
+		close(solveCancelled)
+		return nil, sctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(ctx, "fp", solve)
+		done <- err
+	}()
+	waitForEntry(t, c, "fp")
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-solveCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("solve context was never cancelled after the last waiter left")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("entries = %d, want 0 after abandoned solve", c.len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCacheEviction checks the FIFO bound on completed entries.
+func TestCacheEviction(t *testing.T) {
+	c := newCache(context.Background(), 0, 2, telemetry.New())
+	ok := func(context.Context) (*api.Response, error) {
+		return &api.Response{Op: api.OpSLEM}, nil
+	}
+	for _, fp := range []string{"a", "b", "c"} {
+		if _, _, err := c.do(context.Background(), fp, ok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("entries = %d, want 2 (oldest evicted)", got)
+	}
+	if _, outcome, _ := c.do(context.Background(), "a", ok); outcome != outcomeMiss {
+		t.Fatalf("evicted entry outcome = %q, want miss", outcome)
+	}
+}
+
+// waitForEntry blocks until fp is registered in the cache (the solve
+// spawner holds the lock only briefly; the test must not race it).
+func waitForEntry(t *testing.T, c *cache, fp string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		_, ok := c.entries[fp]
+		c.mu.Unlock()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("entry %q never appeared", fp)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"mixtime/internal/api"
+	"mixtime/internal/datasets"
+	"mixtime/internal/graph"
+	"mixtime/internal/graphio"
+)
+
+// Entry is one graph the daemon serves queries against: the measured
+// component (LCC — mixing time is undefined on disconnected graphs),
+// its content hash, and where it came from.
+type Entry struct {
+	Name string
+	// Graph is the largest connected component of the loaded graph.
+	Graph *graph.Graph
+	// Hash is the sha256 content identity of the component — the graph
+	// part of every query fingerprint, so the cache key survives
+	// daemon restarts and renames but never aliases distinct graphs.
+	Hash string
+	// Origin records provenance: "file:<path>" or
+	// "dataset:<name>:<scale>".
+	Origin string
+}
+
+// Info renders the entry for the /v1/graphs listing.
+func (e *Entry) Info() api.GraphInfo {
+	return api.GraphInfo{
+		Name:   e.Name,
+		Nodes:  e.Graph.NumNodes(),
+		Edges:  e.Graph.NumEdges(),
+		Hash:   e.Hash,
+		Origin: e.Origin,
+	}
+}
+
+// Registry maps names to served graphs. It is populated at daemon
+// startup (snapshot dir + dataset references) and read-only
+// afterwards; the lock only guards the population phase against
+// concurrent tests.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*Entry{}}
+}
+
+// AddGraph registers g under name, extracting the largest component
+// and hashing it. Duplicate names are rejected — a registry where
+// "dblp" could mean two different graphs would poison every cached
+// fingerprint downstream.
+func (r *Registry) AddGraph(name, origin string, g *graph.Graph) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("service: empty graph name")
+	}
+	lcc, _ := graph.LargestComponent(g)
+	if lcc.NumNodes() < 2 {
+		return nil, fmt.Errorf("service: graph %q: largest component too small to measure", name)
+	}
+	e := &Entry{Name: name, Graph: lcc, Hash: hashGraph(lcc), Origin: origin}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return nil, fmt.Errorf("service: graph %q already registered", name)
+	}
+	r.entries[name] = e
+	return e, nil
+}
+
+// AddDataset generates a Table-1 synthetic substitute at the given
+// scale and seed and registers it under the dataset's name.
+func (r *Registry) AddDataset(name string, scale float64, seed uint64) (*Entry, error) {
+	d, err := datasets.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if scale <= 0 {
+		scale = api.DefaultScale
+	}
+	g := d.Generate(scale, seed)
+	return r.AddGraph(name, fmt.Sprintf("dataset:%s:%v", name, scale), g)
+}
+
+// LoadDir registers every loadable graph file in dir (MIXG snapshots
+// and edge lists, ".gz" accepted) under its file stem. Subdirectories
+// and unreadable files fail the load: a daemon that silently serves
+// half its registry is worse than one that refuses to start.
+func (r *Registry) LoadDir(dir string) (int, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("service: graphs dir: %w", err)
+	}
+	added := 0
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		g, err := graphio.LoadFile(path)
+		if err != nil {
+			return added, fmt.Errorf("service: load %s: %w", path, err)
+		}
+		stem := de.Name()
+		for _, ext := range []string{".gz", ".mixg", ".txt", ".edges"} {
+			stem = strings.TrimSuffix(stem, ext)
+		}
+		if _, err := r.AddGraph(stem, "file:"+path, g); err != nil {
+			return added, err
+		}
+		added++
+	}
+	return added, nil
+}
+
+// Get resolves a graph name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// List returns the registry in name order.
+func (r *Registry) List() []api.GraphInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]api.GraphInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// hashGraph streams the component's node count and edge list into
+// sha256. Two graphs share a hash iff they are the same labeled
+// graph, which is exactly the identity the cache needs: the CSR
+// arrays are a function of the edge set, so hashing edges (not the
+// arrays) stays stable across storage-format changes.
+func hashGraph(g *graph.Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.NumNodes()))
+	h.Write(buf[:])
+	g.Edges(func(u, v graph.NodeID) bool {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(u))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(v))
+		h.Write(buf[:])
+		return true
+	})
+	return hex.EncodeToString(h.Sum(nil))
+}

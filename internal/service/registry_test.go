@@ -1,0 +1,93 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mixtime/internal/datasets"
+	"mixtime/internal/graphio"
+)
+
+func TestRegistryDatasets(t *testing.T) {
+	r := NewRegistry()
+	e, err := r.AddDataset("physics-1", 0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Graph.NumNodes() < 2 || e.Hash == "" {
+		t.Fatalf("implausible entry: %+v", e)
+	}
+	if _, err := r.AddDataset("physics-1", 0.002, 1); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := r.AddDataset("orkut-prime", 0.002, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, ok := r.Get("physics-1"); !ok {
+		t.Fatal("Get missed a registered graph")
+	}
+	if got := len(r.List()); got != 1 {
+		t.Fatalf("List len = %d, want 1", got)
+	}
+}
+
+func TestRegistryHashIdentity(t *testing.T) {
+	r := NewRegistry()
+	a, err := r.AddDataset("physics-1", 0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.AddDataset("dblp", 0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash == b.Hash {
+		t.Fatal("distinct graphs share a content hash")
+	}
+	// Same generation, different registry: the hash is a function of
+	// the graph alone.
+	r2 := NewRegistry()
+	a2, err := r2.AddDataset("physics-1", 0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != a2.Hash {
+		t.Fatal("identical graphs hash differently across registries")
+	}
+}
+
+func TestRegistryLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	d, err := datasets.ByName("physics-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Generate(0.002, 1)
+	if err := graphio.SaveFile(filepath.Join(dir, "snap.mixg"), g); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegistry()
+	n, err := r.LoadDir(dir)
+	if err != nil || n != 1 {
+		t.Fatalf("LoadDir = %d, %v; want 1, nil", n, err)
+	}
+	e, ok := r.Get("snap")
+	if !ok {
+		t.Fatal("stem-keyed entry missing")
+	}
+	if !strings.HasPrefix(e.Origin, "file:") {
+		t.Fatalf("origin = %q, want file: prefix", e.Origin)
+	}
+
+	// An unreadable file fails the whole load — no half-served
+	// registry.
+	if err := os.WriteFile(filepath.Join(dir, "junk.txt"), []byte("not a graph\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry().LoadDir(dir); err == nil {
+		t.Fatal("corrupt file did not fail LoadDir")
+	}
+}

@@ -1,0 +1,255 @@
+// Package service implements the mixtimed daemon behind cmd/mixtimed:
+// a graph registry (MIXG snapshots plus Table-1 synthetic
+// substitutes), a bounded worker pool running the mixing-time query
+// ops (SLEM, Sinclair bounds, per-source CDFs, SybilLimit admission,
+// registered paper experiments), and a fingerprint-keyed result cache
+// with singleflight dedup in front of it.
+//
+// The wire contract lives in internal/api — this package only binds
+// those types to graphs, solvers and HTTP. Queries are addressed by
+// the sha256 fingerprint of (graph content identity,
+// output-determining knobs): identical queries share one solve and
+// replay from memory afterwards, knobs that cannot change output
+// (workers, block size) are excluded, and a solve belongs to the
+// server lifecycle rather than to whichever request started it, so a
+// cancelled waiter never poisons the shared result.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mixtime/internal/api"
+	"mixtime/internal/runner"
+	"mixtime/internal/telemetry"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// PoolSize bounds concurrent solves (0 = GOMAXPROCS). Cache hits
+	// and singleflight joins never consume a slot — only actual work
+	// queues here.
+	PoolSize int
+	// CacheMax bounds the completed-result cache; the oldest entries
+	// are evicted first (0 = a generous default).
+	CacheMax int
+	// SolveTimeout caps any single solve regardless of the requester's
+	// deadline (0 = none).
+	SolveTimeout time.Duration
+	// Collector receives the service_* counters and the kernel
+	// telemetry from every solve (nil = a private collector).
+	Collector *telemetry.Collector
+}
+
+// Server answers mixing-time queries over a fixed graph registry. It
+// is constructed once (New), serves via Handler, and is torn down
+// with Drain: new requests are rejected while in-flight ones finish.
+type Server struct {
+	reg   *Registry
+	pool  *runner.Pool
+	cache *cache
+	col   *telemetry.Collector
+	start time.Time
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+	active   atomic.Int64
+}
+
+// New builds a Server over the registry. ctx is the server lifecycle:
+// when it dies, in-flight solves are cancelled (a solve belongs to
+// the daemon, not to the request that happened to start it).
+func New(ctx context.Context, reg *Registry, cfg Config) *Server {
+	col := cfg.Collector
+	if col == nil {
+		col = telemetry.New()
+	}
+	return &Server{
+		reg:   reg,
+		pool:  runner.NewPool(cfg.PoolSize),
+		cache: newCache(ctx, cfg.SolveTimeout, cfg.CacheMax, col),
+		col:   col,
+		start: time.Now(),
+	}
+}
+
+// Collector exposes the server's telemetry for tests and /stats.
+func (s *Server) Collector() *telemetry.Collector { return s.col }
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/query   — the unified query endpoint (api.Request/Response)
+//	GET  /v1/graphs  — the registry listing
+//	GET  /healthz    — 200 while serving, 503 while draining
+//	GET  /stats      — counters, pool and cache occupancy
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// Drain stops admission and waits for in-flight requests: the
+// graceful half of shutdown. The HTTP listener is closed by the
+// caller (http.Server.Shutdown); Drain makes the rejection explicit
+// for requests racing the close.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+}
+
+// enter admits one request unless the server is draining.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "", errors.New("service: POST only"))
+		return
+	}
+	if !s.enter() {
+		httpError(w, http.StatusServiceUnavailable, "", errors.New("service: draining"))
+		return
+	}
+	defer s.inflight.Done()
+	s.col.Add(telemetry.ServiceRequests, 1)
+	s.col.ObserveMax(telemetry.MaxInflightRequests, s.active.Add(1))
+	defer s.active.Add(-1)
+
+	started := time.Now()
+	var req api.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, req, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, req, err)
+		return
+	}
+
+	// Resolve the target before fingerprinting so aliases collapse:
+	// the graph name becomes its content hash, a legacy experiment
+	// name becomes its canonical ID.
+	var entry *Entry
+	var graphHash string
+	if req.Op == api.OpExperiment {
+		id, err := resolveExperiment(req.Experiment)
+		if err != nil {
+			s.fail(w, http.StatusNotFound, req, err)
+			return
+		}
+		req.Experiment = id
+	} else {
+		e, ok := s.reg.Get(req.Graph)
+		if !ok {
+			s.fail(w, http.StatusNotFound, req, fmt.Errorf("service: unknown graph %q", req.Graph))
+			return
+		}
+		entry, graphHash = e, e.Hash
+	}
+	fp := api.Fingerprint(req, graphHash)
+
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	resp, outcome, err := s.cache.do(ctx, fp, func(sctx context.Context) (*api.Response, error) {
+		// The pool slot is acquired inside the solve so hits and joins
+		// bypass the queue entirely; queueing is charged to the solve's
+		// context, not to any single waiter.
+		if err := s.pool.Acquire(sctx); err != nil {
+			return nil, err
+		}
+		defer s.pool.Release()
+		return solve(sctx, req, entry, s.col)
+	})
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		s.fail(w, status, req, err)
+		return
+	}
+
+	// The cached *Response is shared between waiters; copy the value
+	// before stamping the per-request envelope.
+	out := *resp
+	out.Fingerprint = fp
+	out.CacheHit = outcome == outcomeHit
+	out.ElapsedNS = time.Since(started).Nanoseconds()
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// fail writes an error envelope and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, req api.Request, err error) {
+	s.col.Add(telemetry.ServiceErrors, 1)
+	httpError(w, status, req.Op, err)
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.GraphsResponse{
+		SchemaVersion: api.SchemaVersion,
+		Graphs:        s.reg.List(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.StatsResponse{
+		SchemaVersion: api.SchemaVersion,
+		UptimeNS:      time.Since(s.start).Nanoseconds(),
+		Pool:          s.pool.Size(),
+		Graphs:        s.reg.Len(),
+		CacheEntries:  s.cache.len(),
+		Telemetry:     s.col.Snapshot(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone if this fails
+}
+
+func httpError(w http.ResponseWriter, status int, op string, err error) {
+	writeJSON(w, status, api.Response{
+		SchemaVersion: api.SchemaVersion,
+		Op:            op,
+		Error:         err.Error(),
+	})
+}

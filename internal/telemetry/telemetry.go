@@ -70,6 +70,29 @@ const (
 	// TracesCompleted counts finished per-source TV traces.
 	TracesCompleted
 
+	// The service_* counters below are incremented by the mixtimed
+	// query layer (internal/service), not by the kernels; they appear
+	// in /stats snapshots beside the kernel counters the solves
+	// accumulate.
+
+	// ServiceRequests counts queries accepted by the unified endpoint.
+	ServiceRequests
+	// ServiceCacheHits counts queries answered from a completed cache
+	// entry (no waiting on a solve).
+	ServiceCacheHits
+	// ServiceCacheMisses counts queries that spawned a new solve.
+	ServiceCacheMisses
+	// ServiceJoins counts queries deduplicated onto an in-flight
+	// identical solve (singleflight).
+	ServiceJoins
+	// ServiceSolves counts spectral/sampling solves actually executed —
+	// the counter the cache acceptance check watches: a repeated
+	// identical query must leave it unchanged.
+	ServiceSolves
+	// ServiceErrors counts queries that ended in an error (validation,
+	// solve failure, or cancellation).
+	ServiceErrors
+
 	numCounters
 )
 
@@ -85,6 +108,12 @@ var counterNames = [numCounters]string{
 	"lanczos_iterations",
 	"restarts",
 	"traces_completed",
+	"service_requests",
+	"service_cache_hits",
+	"service_cache_misses",
+	"service_joins",
+	"service_solves",
+	"service_errors",
 }
 
 // String returns the counter's stable snake_case key.
@@ -106,6 +135,9 @@ const (
 	// MaxGraphAdjacency is the largest adjacency length (2m) of any
 	// instrumented graph — context for reading the edge counters.
 	MaxGraphAdjacency
+	// MaxInflightRequests is the peak number of service queries being
+	// answered at once — how close the daemon came to its pool bound.
+	MaxInflightRequests
 
 	numGauges
 )
@@ -113,6 +145,7 @@ const (
 var gaugeNames = [numGauges]string{
 	"shard_imbalance_milli",
 	"max_graph_adjacency",
+	"max_inflight_requests",
 }
 
 // String returns the gauge's stable snake_case key.

@@ -51,10 +51,11 @@ echo "== go test -race =="
 go test -race ./...
 
 echo "== fault-tolerance race gate =="
-# The retry/checkpoint machinery is the most concurrency-sensitive
-# code in the repo; re-run it uncached so a cached pass can never mask
-# a freshly introduced race.
-go test -race -count=1 ./internal/runner ./internal/telemetry ./internal/checkpoint
+# The retry/checkpoint machinery and the service's singleflight cache
+# are the most concurrency-sensitive code in the repo; re-run them
+# uncached so a cached pass can never mask a freshly introduced race.
+go test -race -count=1 ./internal/runner ./internal/telemetry ./internal/checkpoint \
+	./internal/api ./internal/service
 
 echo "== graphio fuzz corpus =="
 # Execute the seed corpus of every fuzz target (no fuzzing engine —
@@ -62,13 +63,58 @@ echo "== graphio fuzz corpus =="
 #   go test -fuzz=FuzzReadMIXG -fuzztime=30s ./internal/graphio
 go test -run='^Fuzz' ./internal/graphio
 
+echo "== mixtimed e2e smoke =="
+# Boot the daemon on a random port, fire a mixload burst at it, and
+# require zero errors plus the cache invariant: one distinct
+# fingerprint means exactly one solve no matter how many requests.
+smoke_dir=$(mktemp -d)
+cleanup_smoke() {
+	if [ -n "${smoke_pid:-}" ]; then
+		kill "$smoke_pid" 2>/dev/null || true
+		wait "$smoke_pid" 2>/dev/null || true
+	fi
+	rm -rf "$smoke_dir"
+}
+trap cleanup_smoke EXIT
+go build -o "$smoke_dir/mixtimed" ./cmd/mixtimed
+go build -o "$smoke_dir/mixload" ./cmd/mixload
+"$smoke_dir/mixtimed" -datasets physics-1 -scale 0.002 \
+	-addr 127.0.0.1:0 -addr-file "$smoke_dir/addr" >"$smoke_dir/daemon.log" 2>&1 &
+smoke_pid=$!
+tries=0
+while [ ! -s "$smoke_dir/addr" ]; do
+	tries=$((tries + 1))
+	if [ "$tries" -gt 100 ]; then
+		echo "mixtimed never published its address" >&2
+		cat "$smoke_dir/daemon.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$smoke_dir/addr")
+"$smoke_dir/mixload" -addr "$addr" -op slem -n 40 -c 8 -distinct 1
+solves=$(curl -s "http://$addr/stats" | grep -o '"service_solves": *[0-9]*' | grep -o '[0-9]*$')
+if [ "${solves:-0}" != "1" ]; then
+	echo "service_solves = ${solves:-missing}, want 1 (repeat queries must hit the cache)" >&2
+	exit 1
+fi
+kill -INT "$smoke_pid"
+wait "$smoke_pid" || { echo "mixtimed did not shut down cleanly" >&2; exit 1; }
+smoke_pid=""
+cleanup_smoke
+trap - EXIT
+echo "burst ok, 1 solve, graceful shutdown"
+
 echo "== benchdiff =="
 # Gate the two newest kernel benchmark snapshots against each other.
-# With fewer than two snapshots there is nothing to compare; run
-# scripts/bench.sh to record one.
-set -- $(ls -t BENCH_*.json 2>/dev/null || true)
+# Snapshots are ordered by version-sorted name (BENCH_PR3 < BENCH_PR4
+# < BENCH_PR10), not mtime — a fresh checkout scrambles mtimes and
+# would otherwise diff in the wrong direction. With fewer than two
+# snapshots there is nothing to compare; run scripts/bench.sh to
+# record one.
+set -- $(ls BENCH_*.json 2>/dev/null | sort -V | tail -2)
 if [ "$#" -ge 2 ]; then
-	go run ./scripts "$2" "$1"
+	go run ./scripts "$1" "$2"
 else
 	echo "fewer than two BENCH_*.json snapshots; skipping"
 fi
