@@ -1,17 +1,23 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation, plus the ablations DESIGN.md calls out. The experiment
-// benchmarks iterate the runner registry, so a driver registered in
-// internal/experiments is benchmarked with no further wiring:
+// evaluation, plus the coarse end-to-end ablations from DESIGN.md §7.
+// The experiment benchmarks iterate the runner registry, so a driver
+// registered in internal/experiments is benchmarked with no further
+// wiring:
 //
 //	go test -bench=Experiments/F3 -benchmem
 //
 // doubles as the reproduction harness (EXPERIMENTS.md records a full
 // annotated run at larger scale via cmd/paperfigs).
+//
+// The fine-grained kernel benchmarks (Step, StepBlock, the
+// eigensolvers, the distributed walker flood) live next to their
+// kernels — internal/markov, internal/spectral, internal/distmix —
+// so the bench.sh snapshot binaries link only their own dependencies
+// and stay layout-stable as the rest of the repo grows.
 package mixtime_test
 
 import (
 	"context"
-	"fmt"
 	"math/rand/v2"
 	"testing"
 
@@ -19,8 +25,6 @@ import (
 	_ "mixtime/internal/experiments" // register the paper's artifacts
 	"mixtime/internal/markov"
 	"mixtime/internal/runner"
-	"mixtime/internal/spectral"
-	"mixtime/internal/telemetry"
 )
 
 // benchCfg keeps the per-iteration cost of the heavier drivers around
@@ -33,7 +37,7 @@ var benchCfg = runner.Config{
 }
 
 // BenchmarkExperiments runs every registered artifact (T1, F1–F8,
-// X1–X7) as a sub-benchmark keyed by its DESIGN.md §5 ID.
+// X1–X7, D1–D2) as a sub-benchmark keyed by its DESIGN.md §5 ID.
 func BenchmarkExperiments(b *testing.B) {
 	ctx := context.Background()
 	for _, def := range runner.Default().Defs() {
@@ -55,166 +59,6 @@ func ablationGraph() *mixtime.Graph {
 		panic(err)
 	}
 	return d.Generate(0.1, 1)
-}
-
-func BenchmarkSLEMPower(b *testing.B) {
-	g := ablationGraph()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		est, err := mixtime.SLEMPower(g, mixtime.SpectralOptions{Tol: 1e-6})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(float64(est.Iterations), "matvecs")
-		}
-	}
-}
-
-func BenchmarkSLEMLanczos(b *testing.B) {
-	g := ablationGraph()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		est, err := spectral.SLEMLanczos(g, spectral.Options{Tol: 1e-6})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(float64(est.Iterations), "matvecs")
-		}
-	}
-}
-
-// largeAblationGraph is the facebook-A substitute at a scale whose
-// adjacency (~2M entries) is well past the parallel matvec gate —
-// the regime the sharded kernels exist for.
-func largeAblationGraph() *mixtime.Graph {
-	d, err := mixtime.DatasetByName("facebook-A")
-	if err != nil {
-		panic(err)
-	}
-	return d.Generate(0.05, 1)
-}
-
-// benchStep runs the single-distribution CSR kernel with an optional
-// telemetry collector attached to the chain.
-func benchStep(b *testing.B, col *telemetry.Collector) {
-	g := ablationGraph()
-	var opts []markov.Option
-	if col != nil {
-		opts = append(opts, markov.WithCollector(col))
-	}
-	c, err := markov.New(g, opts...)
-	if err != nil {
-		b.Fatal(err)
-	}
-	n := g.NumNodes()
-	p := c.Delta(0)
-	q := make([]float64, n)
-	scratch := make([]float64, n)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Step(q, p, scratch)
-		p, q = q, p
-	}
-}
-
-// BenchmarkStep is the uninstrumented single-distribution kernel
-// baseline. BenchmarkStepCollector is the identical kernel with a
-// live telemetry collector; DESIGN.md §8's overhead contract says the
-// pair must stay within noise of each other, because counters are
-// bumped once per CSR pass, never per edge. bench.sh snapshots both,
-// so benchdiff flags a drift in either.
-func BenchmarkStep(b *testing.B)          { benchStep(b, nil) }
-func BenchmarkStepCollector(b *testing.B) { benchStep(b, telemetry.New()) }
-
-// BenchmarkStepBlock measures the SpMV→SpMM transformation: one
-// blocked step serves B source distributions per CSR pass, so the
-// per-neighbor index loads are amortized across the block. The
-// ns/source metric is the per-source cost; B=1 is the sequential
-// baseline it must beat.
-func BenchmarkStepBlock(b *testing.B) {
-	g := ablationGraph()
-	c, err := markov.New(g)
-	if err != nil {
-		b.Fatal(err)
-	}
-	n := g.NumNodes()
-	for _, width := range []int{1, 4, 8, 16} {
-		b.Run(fmt.Sprintf("B=%d", width), func(b *testing.B) {
-			p := make([]float64, n*width)
-			q := make([]float64, n*width)
-			scratch := make([]float64, n*width)
-			for j := 0; j < width; j++ {
-				p[j*width+j] = 1 // source j starts at vertex j
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				c.StepBlock(q, p, width, scratch)
-				p, q = q, p
-			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(width),
-				"ns/source")
-		})
-	}
-}
-
-// BenchmarkTraceSampleBlocked measures the full blocked trace sampler
-// the experiment drivers run on, per-source, against the per-source
-// sequential path (B=1).
-func BenchmarkTraceSampleBlocked(b *testing.B) {
-	g := ablationGraph()
-	c, err := markov.New(g)
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewPCG(1, 2))
-	sources := markov.SampleSources(g, 16, rng)
-	for _, width := range []int{1, 8} {
-		b.Run(fmt.Sprintf("B=%d", width), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				c.TraceSampleBlocked(sources, 50, width)
-			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(sources)),
-				"ns/source")
-		})
-	}
-}
-
-// BenchmarkApplyParallel measures the row-sharded symmetric matvec on
-// a graph large enough to clear the parallel gate.
-func BenchmarkApplyParallel(b *testing.B) {
-	g := largeAblationGraph()
-	op, err := spectral.NewOperator(g)
-	if err != nil {
-		b.Fatal(err)
-	}
-	n := op.Dim()
-	x := make([]float64, n)
-	for i := range x {
-		x[i] = float64(i%7) - 3
-	}
-	dst := make([]float64, n)
-	scratch := make([]float64, n)
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				op.ApplyParallel(dst, x, scratch, workers)
-			}
-		})
-	}
-}
-
-func BenchmarkPropagationExact(b *testing.B) {
-	g := ablationGraph()
-	c, err := mixtime.NewChain(g)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.TraceFrom(0, 100)
-	}
 }
 
 func BenchmarkPropagationMC(b *testing.B) {

@@ -39,7 +39,7 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	addr := flag.String("addr", "", "daemon address (host:port or URL), required")
-	op := flag.String("op", api.OpSLEM, "operation per request: slem, bounds, cdf, admission, experiment")
+	op := flag.String("op", api.OpSLEM, "operation per request: slem, bounds, cdf, admission, distmix, experiment")
 	graphName := flag.String("graph", "", "target graph name (default: first of the daemon's registry)")
 	experiment := flag.String("experiment", "T1", "experiment ID for -op experiment")
 	n := flag.Int("n", 200, "total requests")
@@ -49,6 +49,9 @@ func run() int {
 	maxWalk := flag.Int("maxwalk", api.DefaultMaxWalk, "max walk knob sent with each request")
 	eps := flag.Float64("eps", api.DefaultEps, "ε knob for cdf requests")
 	method := flag.String("method", api.MethodLanczos, "SLEM solver for slem/bounds requests")
+	distShards := flag.Int("distshards", api.DefaultDistShards, "simulated shard count for distmix requests")
+	distWalks := flag.Int("distwalks", api.DefaultDistWalks, "walkers per node for distmix requests")
+	distRounds := flag.Int("distrounds", api.DefaultDistRounds, "superstep budget for distmix requests")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
 	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the daemon to become healthy")
 	flag.Parse()
@@ -92,10 +95,13 @@ func run() int {
 		Op:            *op,
 		Graph:         target,
 		Params: api.Params{
-			Sources: *sources,
-			MaxWalk: *maxWalk,
-			Eps:     *eps,
-			Method:  *method,
+			Sources:    *sources,
+			MaxWalk:    *maxWalk,
+			Eps:        *eps,
+			Method:     *method,
+			DistShards: *distShards,
+			DistWalks:  *distWalks,
+			DistRounds: *distRounds,
 		},
 	}
 	if *op == api.OpExperiment {

@@ -8,7 +8,7 @@
 // "all", generated at -scale with -seed). The wire contract is
 // internal/api; the endpoints are:
 //
-//	POST /v1/query   — slem | bounds | cdf | admission | experiment
+//	POST /v1/query   — slem | bounds | cdf | admission | distmix | experiment
 //	GET  /v1/graphs  — the registry listing
 //	GET  /healthz    — 200 while serving, 503 while draining
 //	GET  /stats      — service counters, kernel telemetry, pool/cache occupancy

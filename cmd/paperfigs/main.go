@@ -31,7 +31,7 @@
 //	paperfigs -checkpoint run1       # persist completed artifacts
 //	paperfigs -checkpoint run1 -resume  # replay them after a crash
 //
-// IDs: T1, F1–F8, X1–X7. Legacy names: table1, fig1..fig8, attack,
+// IDs: T1, F1–F8, X1–X7, D1–D2. Legacy names: table1, fig1..fig8, attack,
 // conductance, whanau, trust, detection, defenses, whanau-lookup.
 package main
 

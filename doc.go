@@ -60,8 +60,10 @@
 //	internal/whanau       Whānau DHT core
 //	internal/stats        CDFs, percentiles
 //	internal/core         the composed Measure/MeasureContext pipeline
+//	internal/distmix      simulated distributed estimation: superstep engine,
+//	                      walker-flood mixing/local-mixing estimators (DESIGN.md §11)
 //	internal/runner       experiment registry, parallel runner, observer events
-//	internal/experiments  per-figure drivers (T1, F1–F8, X1–X7)
+//	internal/experiments  per-figure drivers (T1, F1–F8, X1–X7, D1–D2)
 //	internal/telemetry    kernel counters, gauges, stage timers (DESIGN.md §8)
 //	internal/textplot     ASCII charts and tables
 //	internal/cliutil      CLI helpers: graph loading, pprof/trace capture

@@ -45,16 +45,21 @@ const (
 	// OpAdmission runs SybilLimit with route length Params.MaxWalk
 	// over a sampled suspect set and reports the admission rate.
 	OpAdmission = "admission"
+	// OpDistMix runs the simulated distributed mixing-time estimator
+	// (internal/distmix): hashed random-walk tokens over ShardPlan
+	// partitions, converging on τ(ε) and the local mixing time without
+	// a spectral solve, with communication accounting in the payload.
+	OpDistMix = "distmix"
 	// OpExperiment runs a registered paper experiment (T1, F1–F8,
-	// X1–X7) and returns its Document — the same JSON `paperfigs
-	// -json` writes.
+	// X1–X7, D1–D2) and returns its Document — the same JSON
+	// `paperfigs -json` writes.
 	OpExperiment = "experiment"
 )
 
 // Ops lists the operations in a stable order (for listings and load
 // mixes).
 func Ops() []string {
-	return []string{OpSLEM, OpBounds, OpCDF, OpAdmission, OpExperiment}
+	return []string{OpSLEM, OpBounds, OpCDF, OpAdmission, OpDistMix, OpExperiment}
 }
 
 // Request is the body of POST /v1/query.
@@ -86,7 +91,7 @@ func (r Request) Validate() error {
 			r.SchemaVersion, SchemaVersion)
 	}
 	switch r.Op {
-	case OpSLEM, OpBounds, OpCDF, OpAdmission:
+	case OpSLEM, OpBounds, OpCDF, OpAdmission, OpDistMix:
 		if r.Graph == "" {
 			return fmt.Errorf("api: op %q needs a graph", r.Op)
 		}
@@ -129,6 +134,7 @@ type Response struct {
 	Bounds    *BoundsResult    `json:"bounds,omitempty"`
 	CDF       *CDFResult       `json:"cdf,omitempty"`
 	Admission *AdmissionResult `json:"admission,omitempty"`
+	DistMix   *DistMixResult   `json:"distmix,omitempty"`
 	// Document is the experiment artifact for OpExperiment —
 	// byte-for-byte the document `paperfigs -json` writes.
 	Document json.RawMessage `json:"document,omitempty"`
@@ -190,6 +196,47 @@ type CDFResult struct {
 	// AvgT is the mean first crossing over sources that mixed.
 	AvgT   float64    `json:"avg_t"`
 	Points []CDFPoint `json:"points"`
+}
+
+// DistMixResult is the distributed mixing-time estimate payload.
+// Tau/LocalTau and their completeness flags are deterministic for a
+// fixed (seed, walks, rounds) and independent of dist_shards; the
+// communication fields (Rounds through OffShardBytes) are diagnostics
+// of the solve that produced the result — a cache hit replays the
+// original solve's accounting, which is why dist_shards is excluded
+// from fingerprints.
+type DistMixResult struct {
+	Eps float64 `json:"eps"`
+	// Sources is the sampled source count; Walks is the walker
+	// population per source (WalksPerNode × Nodes).
+	Sources      int  `json:"sources"`
+	WalksPerNode int  `json:"walks_per_node"`
+	Walks        int  `json:"walks"`
+	Shards       int  `json:"shards"`
+	MaxRounds    int  `json:"max_rounds"`
+	Lazy         bool `json:"lazy"`
+	// Tau is the distributed estimate of Definition 1's T(ε): the max
+	// over sources of the first debiased ℓ1 crossing. Complete is
+	// false when some source never crossed within MaxRounds (Tau is
+	// then a lower bound).
+	Tau      int  `json:"tau"`
+	Complete bool `json:"complete"`
+	// LocalTau is the worst-case local mixing time ζ(ε): walks mix
+	// over ≥ 1−ε of the stationary mass pointwise.
+	LocalTau      int  `json:"local_tau"`
+	LocalComplete bool `json:"local_complete"`
+	// NoiseFloor is the sampling-bias floor subtracted from the raw
+	// ℓ1 distance before the ε comparison.
+	NoiseFloor float64 `json:"noise_floor"`
+	// Communication accounting totals over every source's run.
+	Rounds           int   `json:"rounds"`
+	Messages         int64 `json:"messages"`
+	OffShardMessages int64 `json:"offshard_messages"`
+	OnShardBytes     int64 `json:"onshard_bytes"`
+	OffShardBytes    int64 `json:"offshard_bytes"`
+	// Nodes and Edges describe the measured component.
+	Nodes int   `json:"nodes"`
+	Edges int64 `json:"edges"`
 }
 
 // AdmissionResult is the SybilLimit admission payload.

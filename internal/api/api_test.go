@@ -15,6 +15,12 @@ func TestParamsDefaults(t *testing.T) {
 		p.SpectralTol != DefaultSpectralTol || p.Scale != DefaultScale {
 		t.Errorf("Defaults() = %+v, want the canonical constants", p)
 	}
+	if p.DistShards != DefaultDistShards || p.DistWalks != DefaultDistWalks ||
+		p.DistRounds != DefaultDistRounds {
+		t.Errorf("Defaults() dist knobs = %d/%d/%d, want %d/%d/%d",
+			p.DistShards, p.DistWalks, p.DistRounds,
+			DefaultDistShards, DefaultDistWalks, DefaultDistRounds)
+	}
 	if err := p.Validate(); err != nil {
 		t.Errorf("Defaults().Validate() = %v", err)
 	}
@@ -43,6 +49,9 @@ func TestParamsValidate(t *testing.T) {
 		{Eps: 1.5},
 		{EpsList: []float64{0.1, 2}},
 		{Workers: -2},
+		{DistShards: -1},
+		{DistWalks: -8},
+		{DistRounds: -3},
 	}
 	for _, p := range bad {
 		if err := p.Validate(); err == nil {
@@ -89,6 +98,7 @@ func TestParamsWireNames(t *testing.T) {
 			Scale: 0.01, Seed: 7, Sources: 10, MaxWalk: 50,
 			SpectralTol: 1e-7, BlockSize: 8, Workers: 2,
 			Method: MethodPower, Eps: 0.1, EpsList: []float64{0.25},
+			DistShards: 4, DistWalks: 32, DistRounds: 100,
 		},
 		TimeoutMS: 1000,
 	}
@@ -100,6 +110,7 @@ func TestParamsWireNames(t *testing.T) {
 		`"schema_version"`, `"op"`, `"graph"`, `"params"`, `"timeout_ms"`,
 		`"scale"`, `"seed"`, `"sources"`, `"max_walk"`, `"spectral_tol"`,
 		`"block_size"`, `"workers"`, `"method"`, `"eps"`, `"eps_list"`,
+		`"dist_shards"`, `"dist_walks"`, `"dist_rounds"`,
 	} {
 		if !strings.Contains(string(raw), key) {
 			t.Errorf("wire document missing stable key %s:\n%s", key, raw)
@@ -122,12 +133,21 @@ func TestFingerprint(t *testing.T) {
 	if got := Fingerprint(ident, "hashA"); got != fp {
 		t.Error("workers/block_size changed the fingerprint; they are byte-identity knobs")
 	}
+	// DistShards is a layout knob with the same contract: the distmix
+	// estimate is shard-count invariant, so shard count must dedup too.
+	ident = base
+	ident.Params.DistShards = 32
+	if got := Fingerprint(ident, "hashA"); got != fp {
+		t.Error("dist_shards changed the fingerprint; the estimate is shard-count invariant")
+	}
 	// Everything output-determining must change it.
 	for name, req := range map[string]Request{
-		"op":      {Op: OpBounds, Graph: "g", Params: Params{Seed: 1}},
-		"seed":    {Op: OpSLEM, Graph: "g", Params: Params{Seed: 2}},
-		"sources": {Op: OpSLEM, Graph: "g", Params: Params{Seed: 1, Sources: 7}},
-		"method":  {Op: OpSLEM, Graph: "g", Params: Params{Seed: 1, Method: MethodPower}},
+		"op":          {Op: OpBounds, Graph: "g", Params: Params{Seed: 1}},
+		"seed":        {Op: OpSLEM, Graph: "g", Params: Params{Seed: 2}},
+		"sources":     {Op: OpSLEM, Graph: "g", Params: Params{Seed: 1, Sources: 7}},
+		"method":      {Op: OpSLEM, Graph: "g", Params: Params{Seed: 1, Method: MethodPower}},
+		"dist_walks":  {Op: OpSLEM, Graph: "g", Params: Params{Seed: 1, DistWalks: 128}},
+		"dist_rounds": {Op: OpSLEM, Graph: "g", Params: Params{Seed: 1, DistRounds: 77}},
 	} {
 		if got := Fingerprint(req, "hashA"); got == fp {
 			t.Errorf("varying %s kept the fingerprint", name)

@@ -40,6 +40,20 @@ const (
 	// DefaultEps is the variation-distance threshold ε for per-source
 	// mixing-time CDF queries.
 	DefaultEps = 0.1
+	// DefaultDistShards is the simulated worker count for distributed
+	// (distmix) estimates. Like Workers it never changes the output —
+	// only the communication accounting — so it is excluded from
+	// result fingerprints.
+	DefaultDistShards = 8
+	// DefaultDistWalks is the walker population per graph node a
+	// distmix estimate launches from each source: 64 walks per node
+	// puts the sampling noise floor a factor below DefaultEps, so the
+	// debiased ℓ1 estimate tracks the exact propagated distance.
+	DefaultDistWalks = 64
+	// DefaultDistRounds caps the supersteps per distmix source; it
+	// matches DefaultMaxWalk because a superstep advances every walk
+	// one step.
+	DefaultDistRounds = DefaultMaxWalk
 )
 
 // Method names a SLEM solver.
@@ -97,6 +111,18 @@ type Params struct {
 	// EpsList is the ε grid for bounds queries (default
 	// DefaultEpsList).
 	EpsList []float64 `json:"eps_list,omitempty"`
+	// DistShards is the simulated worker count for distmix queries
+	// (default DefaultDistShards). The estimate is bit-identical for
+	// any value — only the reported communication cost moves — so it
+	// is excluded from result fingerprints like Workers and BlockSize.
+	DistShards int `json:"dist_shards,omitempty"`
+	// DistWalks is the distmix walker population per graph node
+	// (default DefaultDistWalks). It changes the estimate's noise
+	// floor, hence the output, hence the fingerprint.
+	DistWalks int `json:"dist_walks,omitempty"`
+	// DistRounds caps supersteps per distmix source (default
+	// DefaultDistRounds). Output-determining, fingerprinted.
+	DistRounds int `json:"dist_rounds,omitempty"`
 }
 
 // Defaults returns the canonical parameters, including the
@@ -112,6 +138,9 @@ func Defaults() Params {
 		BlockSize:   DefaultBlockSize,
 		Method:      MethodLanczos,
 		Eps:         DefaultEps,
+		DistShards:  DefaultDistShards,
+		DistWalks:   DefaultDistWalks,
+		DistRounds:  DefaultDistRounds,
 	}
 }
 
@@ -142,6 +171,15 @@ func (p Params) WithDefaults() Params {
 	}
 	if len(p.EpsList) == 0 {
 		p.EpsList = DefaultEpsList()
+	}
+	if p.DistShards <= 0 {
+		p.DistShards = DefaultDistShards
+	}
+	if p.DistWalks <= 0 {
+		p.DistWalks = DefaultDistWalks
+	}
+	if p.DistRounds <= 0 {
+		p.DistRounds = DefaultDistRounds
 	}
 	return p
 }
@@ -183,21 +221,31 @@ func (p Params) Validate() error {
 			return fmt.Errorf("api: eps_list entry %v must be in (0, 1)", e)
 		}
 	}
+	if p.DistShards < 0 {
+		return fmt.Errorf("api: dist_shards %d must be positive", p.DistShards)
+	}
+	if p.DistWalks < 0 {
+		return fmt.Errorf("api: dist_walks %d must be positive", p.DistWalks)
+	}
+	if p.DistRounds < 0 {
+		return fmt.Errorf("api: dist_rounds %d must be positive", p.DistRounds)
+	}
 	return nil
 }
 
 // Canon renders the output-determining parameters as a canonical
-// string — the Params contribution to a result fingerprint. Workers
-// and BlockSize are deliberately excluded: every kernel guarantees
-// byte-identical output for any value, so two requests differing only
-// there must share one cached result.
+// string — the Params contribution to a result fingerprint. Workers,
+// BlockSize and DistShards are deliberately excluded: every kernel
+// guarantees byte-identical output for any value (DistShards only
+// moves the reported communication diagnostics), so two requests
+// differing only there must share one cached result.
 func (p Params) Canon() string {
 	p = p.WithDefaults()
 	eps := make([]string, len(p.EpsList))
 	for i, e := range p.EpsList {
 		eps[i] = fmt.Sprintf("%v", e)
 	}
-	return fmt.Sprintf("scale=%v|seed=%d|sources=%d|maxwalk=%d|tol=%v|method=%s|eps=%v|epslist=%s",
+	return fmt.Sprintf("scale=%v|seed=%d|sources=%d|maxwalk=%d|tol=%v|method=%s|eps=%v|epslist=%s|distwalks=%d|distrounds=%d",
 		p.Scale, p.Seed, p.Sources, p.MaxWalk, p.SpectralTol, p.Method, p.Eps,
-		strings.Join(eps, ","))
+		strings.Join(eps, ","), p.DistWalks, p.DistRounds)
 }

@@ -1,0 +1,257 @@
+// Package distmix estimates mixing times the way a distributed system
+// would: no global eigensolve, no dense distribution vectors — just
+// random-walk tokens hopping between graph partitions, with
+// convergence detected from per-partition visit statistics. It follows
+// Molla & Pandurangan's distributed mixing-time line of work: each
+// node learns how mixed the walk is from local walk counts alone, and
+// the only global operations are a per-round barrier and an
+// O(shards)-sized reduction.
+//
+// The package simulates the distributed execution on one machine so
+// the estimates can be cross-validated against the exact spectral and
+// propagation answers the rest of the repository computes (experiments
+// D1/D2). The existing edge-balanced graph.ShardPlan partitions play
+// the workers, rounds are bulk-synchronous supersteps, and every
+// walker hop that crosses a shard boundary is accounted as an
+// off-shard message through internal/telemetry — the cost a real
+// deployment would put on the wire.
+//
+// The two layers:
+//
+//   - Engine (this file): a generic superstep runner — per-shard
+//     worker goroutines, double-buffered per-shard mailboxes, a round
+//     barrier, context cancellation between rounds, and communication
+//     accounting (rounds, messages, bytes on/off shard).
+//   - EstimateMixingTime (estimate.go): the walk-distribution and
+//     local mixing-time estimators built on the engine.
+package distmix
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mixtime/internal/graph"
+	"mixtime/internal/telemetry"
+)
+
+// Stats is the communication accounting of one engine run — the cost
+// model of the simulated distributed system. Message counts are exact
+// and deterministic for a deterministic step function; they grow with
+// the shard count even though the estimate itself does not, which is
+// the accuracy-vs-communication axis experiment D2 sweeps.
+type Stats struct {
+	// Rounds is the number of supersteps executed.
+	Rounds int `json:"rounds"`
+	// Messages counts every delivered message, local or not.
+	Messages int64 `json:"messages"`
+	// OffShardMessages counts messages whose sender and receiver live
+	// on different shards — wire traffic in a real deployment.
+	OffShardMessages int64 `json:"offshard_messages"`
+	// OnShardBytes and OffShardBytes are the accounted payload volumes
+	// (message count × the engine's per-message size).
+	OnShardBytes  int64 `json:"onshard_bytes"`
+	OffShardBytes int64 `json:"offshard_bytes"`
+	// Halted reports that the halt predicate stopped the run before
+	// the round budget ran out.
+	Halted bool `json:"halted"`
+}
+
+// Add accumulates another run's accounting (used when one logical
+// estimate runs the engine once per source).
+func (s *Stats) Add(o Stats) {
+	s.Rounds += o.Rounds
+	s.Messages += o.Messages
+	s.OffShardMessages += o.OffShardMessages
+	s.OnShardBytes += o.OnShardBytes
+	s.OffShardBytes += o.OffShardBytes
+	s.Halted = s.Halted || o.Halted
+}
+
+// Outbox collects one shard's outgoing messages during a superstep.
+// It is only valid inside the Step call that received it.
+type Outbox[M any] struct {
+	bufs [][]M // dst-shard indexed
+}
+
+// Send queues m for delivery to shard dst at the next superstep.
+func (o *Outbox[M]) Send(dst int, m M) { o.bufs[dst] = append(o.bufs[dst], m) }
+
+// Step is one shard's work for one superstep: consume the messages
+// delivered this round (inbox[src] holds the batch sent by shard src
+// last round, nil batches possible), queue next-round messages on out,
+// and return the shard's partial aggregate for the round. Steps run
+// concurrently across shards; a step may touch only its own shard's
+// state.
+type Step[M, P any] func(round, shard int, inbox [][]M, out *Outbox[M]) P
+
+// Halt is the coordinator's per-round convergence test, called at the
+// barrier with every shard's partial. Returning true ends the run —
+// the distributed analogue of an O(shards) converge-cast.
+type Halt[P any] func(round int, partials []P) bool
+
+// Engine is a bulk-synchronous message-passing simulator over a
+// graph.ShardPlan: shards are workers, rounds are supersteps. Workers
+// are persistent goroutines released round-by-round through a barrier;
+// mailboxes are double-buffered src×dst slices so a round's sends
+// never race its receives and steady-state rounds allocate nothing.
+// An Engine is single-run: construct, Run once, discard.
+type Engine[M, P any] struct {
+	plan   *graph.ShardPlan
+	owner  []int32 // vertex -> owning shard
+	shards int
+	// msgBytes is the accounted wire size of one message.
+	msgBytes int
+	col      *telemetry.Collector
+
+	cur, nxt [][][]M // [src][dst] message buffers; cur receives this round's sends
+	inview   [][][]M // [dst][src] transposed view of last round's sends
+	partials []P
+}
+
+// NewEngine builds an engine over the plan's shards. msgBytes is the
+// accounted payload size of one message (for the byte counters); col
+// may be nil.
+func NewEngine[M, P any](g *graph.Graph, plan *graph.ShardPlan, msgBytes int, col *telemetry.Collector) (*Engine[M, P], error) {
+	shards := plan.NumShards()
+	if shards < 1 {
+		return nil, fmt.Errorf("distmix: plan has no shards")
+	}
+	owner := make([]int32, g.NumNodes())
+	for s := 0; s < shards; s++ {
+		lo, hi := plan.Bounds(s)
+		for v := lo; v < hi; v++ {
+			owner[v] = int32(s)
+		}
+	}
+	e := &Engine[M, P]{
+		plan:     plan,
+		owner:    owner,
+		shards:   shards,
+		msgBytes: msgBytes,
+		col:      col,
+		cur:      make([][][]M, shards),
+		nxt:      make([][][]M, shards),
+		inview:   make([][][]M, shards),
+		partials: make([]P, shards),
+	}
+	for s := 0; s < shards; s++ {
+		e.cur[s] = make([][]M, shards)
+		e.nxt[s] = make([][]M, shards)
+		e.inview[s] = make([][]M, shards)
+	}
+	return e, nil
+}
+
+// NumShards returns the worker count.
+func (e *Engine[M, P]) NumShards() int { return e.shards }
+
+// Owner returns the shard that owns vertex v — the routing table every
+// step uses to address its sends.
+func (e *Engine[M, P]) Owner(v graph.NodeID) int { return int(e.owner[v]) }
+
+// Run executes up to maxRounds supersteps. initial[s] seeds shard s's
+// first inbox (nil entries fine; seeding is not accounted as
+// traffic). Each round: the barrier releases every worker with the
+// messages addressed to it last round, workers run step concurrently,
+// the coordinator accounts the round's sends, delivers them, and asks
+// halt whether to stop. Cancellation is checked between rounds — the
+// natural superstep boundary — so a cancelled context aborts within
+// one round.
+func (e *Engine[M, P]) Run(ctx context.Context, maxRounds int, initial [][]M, step Step[M, P], halt Halt[P]) (Stats, error) {
+	if maxRounds < 1 {
+		return Stats{}, fmt.Errorf("distmix: maxRounds %d must be positive", maxRounds)
+	}
+	// Seed round 1's inboxes: present initial[s] as a one-batch inbox.
+	seed := make([][][]M, e.shards)
+	for s := 0; s < e.shards; s++ {
+		if s < len(initial) && len(initial[s]) > 0 {
+			seed[s] = [][]M{initial[s]}
+		}
+	}
+
+	start := make([]chan int, e.shards)
+	done := make(chan int, e.shards)
+	var wg sync.WaitGroup
+	for s := 0; s < e.shards; s++ {
+		start[s] = make(chan int, 1)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for round := range start[s] {
+				inbox := seed[s]
+				if round > 1 {
+					inbox = e.inview[s]
+				}
+				out := Outbox[M]{bufs: e.cur[s]}
+				e.partials[s] = step(round, s, inbox, &out)
+				done <- s
+			}
+		}(s)
+	}
+	release := func() {
+		for s := 0; s < e.shards; s++ {
+			close(start[s])
+		}
+		wg.Wait()
+	}
+
+	var st Stats
+	var err error
+	for round := 1; round <= maxRounds; round++ {
+		if cerr := ctx.Err(); cerr != nil {
+			err = fmt.Errorf("distmix: cancelled at round %d: %w", round, cerr)
+			break
+		}
+		for s := 0; s < e.shards; s++ {
+			start[s] <- round
+		}
+		for i := 0; i < e.shards; i++ {
+			<-done // barrier: all sends buffered, all partials written
+		}
+		st.Rounds++
+		var msgs, off, onBytes, offBytes int64
+		for src := 0; src < e.shards; src++ {
+			for dst := 0; dst < e.shards; dst++ {
+				n := int64(len(e.cur[src][dst]))
+				if n == 0 {
+					continue
+				}
+				msgs += n
+				if src != dst {
+					off += n
+					offBytes += n * int64(e.msgBytes)
+				} else {
+					onBytes += n * int64(e.msgBytes)
+				}
+			}
+		}
+		st.Messages += msgs
+		st.OffShardMessages += off
+		st.OnShardBytes += onBytes
+		st.OffShardBytes += offBytes
+		e.col.Add(telemetry.DistRounds, 1)
+		e.col.Add(telemetry.DistMessages, msgs)
+		e.col.Add(telemetry.DistOffShardMessages, off)
+		e.col.Add(telemetry.DistOnShardBytes, onBytes)
+		e.col.Add(telemetry.DistOffShardBytes, offBytes)
+
+		if halt != nil && halt(round, e.partials) {
+			st.Halted = true
+			break
+		}
+		// Deliver: next round's inbox for dst is the transposed view of
+		// this round's sends; the other buffer set becomes the new (empty)
+		// outboxes. Reslicing to :0 keeps capacity, so steady-state
+		// rounds reuse the same backing arrays.
+		for dst := 0; dst < e.shards; dst++ {
+			for src := 0; src < e.shards; src++ {
+				e.inview[dst][src] = e.cur[src][dst]
+				e.nxt[dst][src] = e.nxt[dst][src][:0]
+			}
+		}
+		e.cur, e.nxt = e.nxt, e.cur
+	}
+	release()
+	return st, err
+}

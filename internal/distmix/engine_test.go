@@ -1,0 +1,139 @@
+package distmix
+
+import (
+	"context"
+	"testing"
+
+	"mixtime/internal/graph"
+	"mixtime/internal/telemetry"
+)
+
+func ring(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return b.Build()
+}
+
+// tokenEngine builds a trivial ring-of-shards engine: one token
+// circulates, each shard forwards it to the next shard, and the
+// partial is how many tokens the shard saw this round.
+func tokenEngine(t *testing.T, shards int, col *telemetry.Collector) (*Engine[int, int], [][]int) {
+	t.Helper()
+	g := ring(2 * shards)
+	plan := graph.NewShardPlan(g, shards)
+	if plan.NumShards() != shards {
+		t.Fatalf("plan has %d shards, want %d", plan.NumShards(), shards)
+	}
+	eng, err := NewEngine[int, int](g, plan, 4, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := make([][]int, shards)
+	initial[0] = []int{0}
+	return eng, initial
+}
+
+func forward(shards int) Step[int, int] {
+	return func(round, shard int, inbox [][]int, out *Outbox[int]) int {
+		seen := 0
+		for _, batch := range inbox {
+			for range batch {
+				seen++
+				out.Send((shard+1)%shards, round)
+			}
+		}
+		return seen
+	}
+}
+
+func TestEngineBarrierAndAccounting(t *testing.T) {
+	col := telemetry.New()
+	eng, initial := tokenEngine(t, 4, col)
+	rounds := 0
+	st, err := eng.Run(context.Background(), 6, initial, forward(4),
+		func(round int, partials []int) bool {
+			rounds++
+			total := 0
+			for _, p := range partials {
+				total += p
+			}
+			if total != 1 {
+				t.Fatalf("round %d saw %d tokens, want 1", round, total)
+			}
+			return false
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 6 || st.Rounds != 6 {
+		t.Fatalf("rounds = %d/%d, want 6", rounds, st.Rounds)
+	}
+	// One token forwarded per round, always to a different shard.
+	if st.Messages != 6 || st.OffShardMessages != 6 {
+		t.Fatalf("messages = %d off %d, want 6/6", st.Messages, st.OffShardMessages)
+	}
+	if st.OffShardBytes != 24 || st.OnShardBytes != 0 {
+		t.Fatalf("bytes = on %d off %d, want 0/24", st.OnShardBytes, st.OffShardBytes)
+	}
+	if st.Halted {
+		t.Fatal("run reported halted without a halt")
+	}
+	snap := col.Snapshot()
+	if snap.Get(telemetry.DistRounds) != 6 || snap.Get(telemetry.DistOffShardMessages) != 6 {
+		t.Fatalf("telemetry rounds/offshard = %d/%d, want 6/6",
+			snap.Get(telemetry.DistRounds), snap.Get(telemetry.DistOffShardMessages))
+	}
+}
+
+func TestEngineSingleShardKeepsTrafficLocal(t *testing.T) {
+	eng, initial := tokenEngine(t, 1, nil)
+	st, err := eng.Run(context.Background(), 3, initial, forward(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages != 3 || st.OffShardMessages != 0 {
+		t.Fatalf("messages = %d off %d, want 3/0", st.Messages, st.OffShardMessages)
+	}
+	if st.OnShardBytes != 12 || st.OffShardBytes != 0 {
+		t.Fatalf("bytes = on %d off %d, want 12/0", st.OnShardBytes, st.OffShardBytes)
+	}
+}
+
+func TestEngineHaltStopsEarly(t *testing.T) {
+	eng, initial := tokenEngine(t, 4, nil)
+	st, err := eng.Run(context.Background(), 100, initial, forward(4),
+		func(round int, partials []int) bool { return round == 5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Halted || st.Rounds != 5 {
+		t.Fatalf("halted=%v rounds=%d, want halted at 5", st.Halted, st.Rounds)
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	eng, initial := tokenEngine(t, 4, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := eng.Run(ctx, 1000, initial, forward(4),
+		func(round int, partials []int) bool {
+			if round == 3 {
+				cancel()
+			}
+			return false
+		})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if st.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3 (cancellation checked at the next superstep)", st.Rounds)
+	}
+}
+
+func TestEngineRejectsBadRounds(t *testing.T) {
+	eng, initial := tokenEngine(t, 2, nil)
+	if _, err := eng.Run(context.Background(), 0, initial, forward(2), nil); err == nil {
+		t.Fatal("maxRounds 0 accepted")
+	}
+}

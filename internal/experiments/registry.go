@@ -263,6 +263,28 @@ func init() {
 					render: func() string { return RenderDefenseComparison(rows) },
 					csv:    func(w io.Writer) error { return DefenseComparisonCSV(w, rows) }}, nil
 			}},
+		{ID: "D1", Name: "distmix",
+			Title: "Distributed estimates vs exact mixing time on every dataset",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := DistMixValidationContext(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderDistMix(rows) },
+					csv:    func(w io.Writer) error { return DistMixCSV(w, rows) }}, nil
+			}},
+		{ID: "D2", Name: "distmix-tradeoff",
+			Title: "Distributed estimation: accuracy vs communication sweep",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := DistMixTradeoffContext(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderDistMixTradeoff(rows) },
+					csv:    func(w io.Writer) error { return DistMixTradeoffCSV(w, rows) }}, nil
+			}},
 		{ID: "X7", Name: "whanau-lookup",
 			Title: "Whānau lookup success vs table-building walk length",
 			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {

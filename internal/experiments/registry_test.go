@@ -20,6 +20,7 @@ var designIDs = map[string]string{
 	"F5": "fig5", "F6": "fig6", "F7": "fig7", "F8": "fig8",
 	"X1": "attack", "X2": "conductance", "X3": "whanau", "X4": "trust",
 	"X5": "detection", "X6": "defenses", "X7": "whanau-lookup",
+	"D1": "distmix", "D2": "distmix-tradeoff",
 }
 
 func TestRegistryCompleteness(t *testing.T) {

@@ -110,6 +110,74 @@ func TestShardPlanDoParallel(t *testing.T) {
 	}
 }
 
+func TestShardPlanWorkersExceedShards(t *testing.T) {
+	// Do clamps workers to the shard count; a tiny plan under a huge
+	// worker fan-out must still visit every vertex exactly once and
+	// return (no goroutine waits on a shard that never comes).
+	g := shardTestGraph(50, 17)
+	p := NewShardPlan(g, 2)
+	var mu sync.Mutex
+	count := make([]int, g.NumNodes())
+	p.Do(64, func(lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for v := lo; v < hi; v++ {
+			count[v]++
+		}
+	})
+	for v, c := range count {
+		if c != 1 {
+			t.Fatalf("vertex %d visited %d times", v, c)
+		}
+	}
+}
+
+func TestShardPlanZeroEdgeGraph(t *testing.T) {
+	// All-isolated vertices: every CSR offset is zero, so every cut
+	// target lands at 0 and all adjacency-balanced shards collapse to
+	// the front. The plan must stay well-formed and cover [0, n).
+	b := NewBuilder(0)
+	b.AddNode(29)
+	g := b.Build()
+	if g.NumNodes() != 30 || g.NumEdges() != 0 {
+		t.Fatalf("builder produced n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	p := NewShardPlan(g, 4)
+	covered := make([]bool, g.NumNodes())
+	p.Do(4, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			covered[v] = true
+		}
+	})
+	for v, ok := range covered {
+		if !ok {
+			t.Fatalf("vertex %d not covered", v)
+		}
+	}
+}
+
+func TestShardPlanMoreShardsThanVertices(t *testing.T) {
+	// Plans never exceed one shard per vertex: shards clamp to n. The
+	// skewed degree profile still permits empty shards and multi-vertex
+	// shards — only the count and the cover are guaranteed.
+	g := shardTestGraph(5, 23)
+	p := NewShardPlan(g, 64)
+	if p.NumShards() != g.NumNodes() {
+		t.Fatalf("plan has %d shards, want %d (clamped to n)", p.NumShards(), g.NumNodes())
+	}
+	count := make([]int, g.NumNodes())
+	p.Do(1, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			count[v]++
+		}
+	})
+	for v, c := range count {
+		if c != 1 {
+			t.Fatalf("vertex %d visited %d times", v, c)
+		}
+	}
+}
+
 func TestShardPlanEmptyGraph(t *testing.T) {
 	p := NewShardPlan(&Graph{}, 4)
 	if p.NumShards() != 0 {

@@ -390,7 +390,7 @@ func TestTraceAllParallel(t *testing.T) {
 	}
 }
 
-func BenchmarkStep(b *testing.B) {
+func BenchmarkStep10k(b *testing.B) {
 	g := connectedRandom(10_000, 40_000, 1)
 	c, err := New(g)
 	if err != nil {

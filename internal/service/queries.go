@@ -9,6 +9,7 @@ import (
 
 	"mixtime/internal/api"
 	"mixtime/internal/core"
+	"mixtime/internal/distmix"
 	_ "mixtime/internal/experiments" // registers the experiment drivers for OpExperiment
 	"mixtime/internal/graph"
 	"mixtime/internal/markov"
@@ -40,6 +41,8 @@ func solve(ctx context.Context, req api.Request, e *Entry, col *telemetry.Collec
 		resp.CDF, err = solveCDF(ctx, p, e, col)
 	case api.OpAdmission:
 		resp.Admission, err = solveAdmission(ctx, p, e)
+	case api.OpDistMix:
+		resp.DistMix, err = solveDistMix(ctx, p, e, col)
 	case api.OpExperiment:
 		resp.Document, err = solveExperiment(ctx, req.Experiment, p, col)
 	default:
@@ -158,6 +161,47 @@ func solveCDF(ctx context.Context, p api.Params, e *Entry, col *telemetry.Collec
 		Complete: complete,
 		AvgT:     avg,
 		Points:   points,
+	}, nil
+}
+
+// solveDistMix runs the simulated distributed estimator. The payload's
+// Tau/LocalTau fields depend only on (seed, sources, eps, dist_walks,
+// dist_rounds) — never on dist_shards or scheduling — which is the
+// invariant that lets dist_shards stay out of the fingerprint while
+// the communication diagnostics ride along as solve metadata.
+func solveDistMix(ctx context.Context, p api.Params, e *Entry, col *telemetry.Collector) (*api.DistMixResult, error) {
+	res, err := distmix.EstimateMixingTime(ctx, e.Graph, distmix.Options{
+		Shards:       p.DistShards,
+		WalksPerNode: p.DistWalks,
+		MaxRounds:    p.DistRounds,
+		Eps:          p.Eps,
+		Sources:      p.Sources,
+		Seed:         p.Seed,
+		Collector:    col,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &api.DistMixResult{
+		Eps:              res.Eps,
+		Sources:          len(res.Sources),
+		WalksPerNode:     res.WalksPerNode,
+		Walks:            res.Walks,
+		Shards:           res.Shards,
+		MaxRounds:        p.DistRounds,
+		Lazy:             res.Lazy,
+		Tau:              res.Tau,
+		Complete:         res.Complete,
+		LocalTau:         res.LocalTau,
+		LocalComplete:    res.LocalComplete,
+		NoiseFloor:       res.NoiseFloor,
+		Rounds:           res.Stats.Rounds,
+		Messages:         res.Stats.Messages,
+		OffShardMessages: res.Stats.OffShardMessages,
+		OnShardBytes:     res.Stats.OnShardBytes,
+		OffShardBytes:    res.Stats.OffShardBytes,
+		Nodes:            e.Graph.NumNodes(),
+		Edges:            e.Graph.NumEdges(),
 	}, nil
 }
 

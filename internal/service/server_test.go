@@ -126,13 +126,21 @@ func TestWorkersDoNotSplitTheCache(t *testing.T) {
 func TestEveryOp(t *testing.T) {
 	_, _, c := newTestServer(t)
 	ctx := context.Background()
-	for _, op := range []string{api.OpSLEM, api.OpBounds, api.OpCDF, api.OpAdmission} {
+	for _, op := range []string{api.OpSLEM, api.OpBounds, api.OpCDF, api.OpAdmission, api.OpDistMix} {
 		p := tinyParams()
 		if op == api.OpCDF {
 			// physics-1 mixes slowly (that is the paper's point); give
 			// the traces room to cross ε.
 			p.MaxWalk = 2000
 			p.Eps = 0.25
+		}
+		if op == api.OpDistMix {
+			// Same slow mixer: a matching round budget, fewer sources
+			// and walkers to keep the walker flood test-sized.
+			p.Eps = 0.25
+			p.Sources = 5
+			p.DistWalks = 16
+			p.DistRounds = 2000
 		}
 		resp, err := c.Query(ctx, api.Request{Op: op, Graph: "physics-1", Params: p})
 		if err != nil {
@@ -155,7 +163,45 @@ func TestEveryOp(t *testing.T) {
 			if resp.Admission == nil || resp.Admission.Suspects == 0 {
 				t.Fatalf("%s: bad payload %+v", op, resp.Admission)
 			}
+		case api.OpDistMix:
+			if resp.DistMix == nil || !resp.DistMix.Complete || resp.DistMix.Tau <= 0 {
+				t.Fatalf("%s: bad payload %+v", op, resp.DistMix)
+			}
+			if resp.DistMix.OffShardMessages == 0 {
+				t.Fatalf("%s: no off-shard traffic across %d shards",
+					op, resp.DistMix.Shards)
+			}
 		}
+	}
+}
+
+// TestDistShardsDoNotSplitTheCache pins the PR 7 fingerprint
+// exclusion end to end: the distmix estimate is shard-count
+// invariant, so requests differing only in dist_shards must share
+// one cached solve.
+func TestDistShardsDoNotSplitTheCache(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	p := tinyParams()
+	p.Eps = 0.25
+	p.Sources = 3
+	p.DistWalks = 8
+	p.DistRounds = 2000
+	req := api.Request{Op: api.OpDistMix, Graph: "physics-1", Params: p}
+	first, err := c.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Params.DistShards = 32
+	resp, err := c.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("dist_shards variation split the cache")
+	}
+	if resp.DistMix.Tau != first.DistMix.Tau {
+		t.Fatalf("cached τ %d differs from solve τ %d", resp.DistMix.Tau, first.DistMix.Tau)
 	}
 }
 

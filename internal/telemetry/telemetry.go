@@ -70,6 +70,27 @@ const (
 	// TracesCompleted counts finished per-source TV traces.
 	TracesCompleted
 
+	// The distmix_* counters below are the communication accounting of
+	// the simulated distributed estimator (internal/distmix): its cost
+	// model is rounds and messages, the quantities a real deployment
+	// would pay for, so they live beside the single-node kernel
+	// counters for direct comparison.
+
+	// DistRounds counts supersteps executed by the distmix engine.
+	DistRounds
+	// DistMessages counts every walker message delivered between
+	// supersteps, on-shard and off-shard alike.
+	DistMessages
+	// DistOffShardMessages counts the subset of messages that crossed a
+	// shard boundary — the traffic a real cluster would put on the wire.
+	DistOffShardMessages
+	// DistOnShardBytes is the accounted payload volume of on-shard
+	// (local) messages.
+	DistOnShardBytes
+	// DistOffShardBytes is the accounted payload volume of off-shard
+	// (cross-worker) messages.
+	DistOffShardBytes
+
 	// The service_* counters below are incremented by the mixtimed
 	// query layer (internal/service), not by the kernels; they appear
 	// in /stats snapshots beside the kernel counters the solves
@@ -108,6 +129,11 @@ var counterNames = [numCounters]string{
 	"lanczos_iterations",
 	"restarts",
 	"traces_completed",
+	"distmix_rounds",
+	"distmix_messages",
+	"distmix_offshard_messages",
+	"distmix_onshard_bytes",
+	"distmix_offshard_bytes",
 	"service_requests",
 	"service_cache_hits",
 	"service_cache_misses",

@@ -55,7 +55,7 @@ echo "== fault-tolerance race gate =="
 # are the most concurrency-sensitive code in the repo; re-run them
 # uncached so a cached pass can never mask a freshly introduced race.
 go test -race -count=1 ./internal/runner ./internal/telemetry ./internal/checkpoint \
-	./internal/api ./internal/service
+	./internal/api ./internal/service ./internal/distmix
 
 echo "== graphio fuzz corpus =="
 # Execute the seed corpus of every fuzz target (no fuzzing engine —
@@ -98,6 +98,42 @@ if [ "${solves:-0}" != "1" ]; then
 	echo "service_solves = ${solves:-missing}, want 1 (repeat queries must hit the cache)" >&2
 	exit 1
 fi
+# Distributed estimator cross-check on the live daemon: the distmix
+# answer must land within the DESIGN.md §11 tolerance —
+# max(ceil(0.35·τ), 3) — of the sampled mixing time the cdf op
+# measures by exact propagation over the same seed and sources, and
+# the message-passing accounting must show real off-shard traffic.
+# The walker budget is the documented default (64/node): physics-1 is
+# the slowest-mixing substitute, and a starved budget's noise floor
+# biases the estimate below the tolerance band (DESIGN.md §11.2).
+dist_params='"params":{"seed":1,"sources":5,"eps":0.25,"max_walk":2000,"dist_walks":64,"dist_rounds":2000}'
+cdf_json=$(curl -s -X POST "http://$addr/v1/query" \
+	-d "{\"op\":\"cdf\",\"graph\":\"physics-1\",$dist_params}")
+dist_json=$(curl -s -X POST "http://$addr/v1/query" \
+	-d "{\"op\":\"distmix\",\"graph\":\"physics-1\",$dist_params}")
+sampled_t=$(printf '%s' "$cdf_json" | grep -o '"sampled_t": *[0-9]*' | grep -o '[0-9]*$')
+dist_tau=$(printf '%s' "$dist_json" | grep -o '"tau": *[0-9]*' | head -1 | grep -o '[0-9]*$')
+offshard=$(printf '%s' "$dist_json" | grep -o '"offshard_messages": *[0-9]*' | grep -o '[0-9]*$')
+if [ -z "${sampled_t:-}" ] || [ -z "${dist_tau:-}" ]; then
+	echo "distmix smoke: missing tau fields" >&2
+	echo "cdf: $cdf_json" >&2
+	echo "distmix: $dist_json" >&2
+	exit 1
+fi
+if [ "${offshard:-0}" -le 0 ]; then
+	echo "distmix smoke: offshard_messages = ${offshard:-missing}, want > 0" >&2
+	exit 1
+fi
+awk -v est="$dist_tau" -v exact="$sampled_t" 'BEGIN {
+	tol = int(0.35 * exact) + (0.35 * exact > int(0.35 * exact) ? 1 : 0)
+	if (tol < 3) tol = 3
+	diff = est - exact; if (diff < 0) diff = -diff
+	if (diff > tol) {
+		printf "distmix smoke: tau %d vs sampled %d exceeds tolerance %d\n", est, exact, tol > "/dev/stderr"
+		exit 1
+	}
+	printf "distmix tau %d vs sampled %d (tolerance %d) ok\n", est, exact, tol
+}'
 kill -INT "$smoke_pid"
 wait "$smoke_pid" || { echo "mixtimed did not shut down cleanly" >&2; exit 1; }
 smoke_pid=""
