@@ -10,6 +10,13 @@
 //	gensocial -model caveman -n 10000  -k 8  -p 0.03   -o cave.mixg
 //	gensocial -model sbm     -n 10000  -k 10 -pin 0.05 -pout 0.0005 -o sbm.txt
 //
+// The ringer model (ring lattice + ER shortcuts) additionally
+// supports -stream, which pipes the generator straight into a
+// streamed on-disk MIXG build — no in-RAM edge list — so node counts
+// far beyond RAM are practical:
+//
+//	gensocial -model ringer -n 10000000 -k 10 -p 1e-7 -stream -o big.mixg
+//
 // -list prints the available dataset names.
 package main
 
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"mixtime"
 )
@@ -24,7 +32,7 @@ import (
 func main() {
 	dataset := flag.String("dataset", "", "Table-1 dataset substitute to generate")
 	scale := flag.Float64("scale", 0.01, "dataset scale factor")
-	model := flag.String("model", "", "raw model: ba, er, ws, caveman, sbm, forestfire, kleinberg, holmekim")
+	model := flag.String("model", "", "raw model: ba, er, ws, ringer, caveman, sbm, forestfire, kleinberg, holmekim")
 	n := flag.Int("n", 10_000, "node count")
 	k := flag.Int("k", 5, "model degree/attachment/clique/community parameter")
 	p := flag.Float64("p", 0.01, "model probability (er: edge, caveman: rewire)")
@@ -33,6 +41,7 @@ func main() {
 	pout := flag.Float64("pout", 0.0005, "sbm inter-community probability")
 	seed := flag.Uint64("seed", 1, "random seed")
 	out := flag.String("o", "", "output file (required; .gz / .mixg supported)")
+	stream := flag.Bool("stream", false, "stream the graph to a .mixg file without building it in RAM (ringer model only)")
 	list := flag.Bool("list", false, "list dataset names and exit")
 	flag.Parse()
 
@@ -43,15 +52,28 @@ func main() {
 		}
 		return
 	}
-	if err := run(*dataset, *scale, *model, *n, *k, *p, *beta, *pin, *pout, *seed, *out); err != nil {
+	if err := run(*dataset, *scale, *model, *n, *k, *p, *beta, *pin, *pout, *seed, *out, *stream); err != nil {
 		fmt.Fprintln(os.Stderr, "gensocial:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, model string, n, k int, p, beta, pin, pout float64, seed uint64, out string) error {
+func run(dataset string, scale float64, model string, n, k int, p, beta, pin, pout float64, seed uint64, out string, stream bool) error {
 	if out == "" {
 		return fmt.Errorf("-o is required")
+	}
+	if stream {
+		if model != "ringer" {
+			return fmt.Errorf("-stream requires -model ringer")
+		}
+		if filepath.Ext(out) != ".mixg" {
+			return fmt.Errorf("-stream writes an uncompressed binary snapshot; use a .mixg output (got %s)", out)
+		}
+		if err := mixtime.SaveGraphStreamed(out, uint64(n), mixtime.RingERStream(uint64(n), k, p, seed)); err != nil {
+			return err
+		}
+		fmt.Printf("streamed %d nodes → %s\n", n, out)
+		return nil
 	}
 	var g *mixtime.Graph
 	switch {
@@ -69,6 +91,18 @@ func run(dataset string, scale float64, model string, n, k int, p, beta, pin, po
 			g = mixtime.ErdosRenyi(n, p, seed)
 		case "ws":
 			g = mixtime.WattsStrogatz(n, k, beta, seed)
+		case "ringer":
+			var edges []mixtime.Edge
+			err := mixtime.RingERStream(uint64(n), k, p, seed)(func(u, v mixtime.NodeID) error {
+				edges = append(edges, mixtime.Edge{U: u, V: v})
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if g, err = mixtime.FromEdges(n, edges); err != nil {
+				return err
+			}
 		case "caveman":
 			g = mixtime.RelaxedCaveman(n/k, k, p, seed)
 		case "sbm":

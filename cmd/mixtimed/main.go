@@ -53,6 +53,7 @@ func run() int {
 	addr := flag.String("addr", "127.0.0.1:8642", "listen address (host:0 picks a free port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
 	graphsDir := flag.String("graphs", "", "directory of graph snapshots to serve (MIXG or edge lists)")
+	mmapGraphs := flag.Bool("mmap", false, "memory-map uncompressed MIXG v2 snapshots in -graphs instead of loading them into RAM (other formats fall back)")
 	dataset := flag.String("datasets", "", `comma-separated Table-1 dataset names to generate and serve ("all" for every one)`)
 	scale := flag.Float64("scale", api.DefaultScale, "scale factor for generated datasets")
 	seed := flag.Uint64("seed", api.DefaultSeed, "seed for generated datasets")
@@ -63,13 +64,18 @@ func run() int {
 	flag.Parse()
 
 	reg := service.NewRegistry()
+	defer reg.Close()
 	if *graphsDir != "" {
-		n, err := reg.LoadDir(*graphsDir)
+		load, how := reg.LoadDir, "loaded"
+		if *mmapGraphs {
+			load, how = reg.LoadDirMapped, "mapped"
+		}
+		n, err := load(*graphsDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mixtimed:", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "mixtimed: loaded %d graph(s) from %s\n", n, *graphsDir)
+		fmt.Fprintf(os.Stderr, "mixtimed: %s %d graph(s) from %s\n", how, n, *graphsDir)
 	}
 	if *dataset != "" {
 		names := strings.Split(*dataset, ",")

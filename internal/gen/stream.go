@@ -1,0 +1,95 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"mixtime/internal/fastrand"
+	"mixtime/internal/graph"
+)
+
+// RingER streams the edges of a "ringer" graph — a k-regular ring
+// lattice (each node linked to its k/2 nearest neighbors on each
+// side) overlaid with Erdős–Rényi shortcut edges of probability p, a
+// Newman–Watts-style small world. Unlike the materialized generators
+// in this package it never holds the edge list: edges are produced on
+// the fly in ascending lexicographic (u, v) order with u < v, exactly
+// the contract of graphio.EdgeStream (the return type is structurally
+// identical), so graphio.WriteMIXGStreamed can counting-sort them
+// straight into an on-disk CSR. O(1) memory per call; a 10M-node
+// graph streams without ever existing in RAM.
+//
+// Replayability comes from counter-mode seeding: node u's shortcut
+// draws use a private PCG keyed by (seed, u), so replaying the stream
+// — or resuming it at any node — regenerates identical edges.
+// Shortcuts are drawn by geometric gap-skipping over the candidate
+// interval (u+k/2, wrap-start), which excludes every lattice edge by
+// construction, so no dedup pass is needed.
+func RingER(n uint64, k int, p float64, seed uint64) func(emit func(u, v graph.NodeID) error) error {
+	k2 := uint64(k / 2)
+	return func(emit func(u, v graph.NodeID) error) error {
+		if n > uint64(^graph.NodeID(0)) {
+			return fmt.Errorf("gen: RingER node count %d exceeds NodeID range", n)
+		}
+		if k2 == 0 || n <= 2*k2 {
+			return fmt.Errorf("gen: RingER needs 2 ≤ k and n > k (got n=%d k=%d)", n, k)
+		}
+		if p < 0 || p >= 1 {
+			return fmt.Errorf("gen: RingER shortcut probability %v outside [0, 1)", p)
+		}
+		// Precomputed reciprocal of ln(1-p) for geometric skipping.
+		var invLog1p float64
+		if p > 0 {
+			invLog1p = 1 / math.Log1p(-p)
+		}
+		for u := uint64(0); u < n; u++ {
+			// Lattice edges forward of u: v ∈ [u+1, u+k2].
+			for v := u + 1; v <= u+k2 && v < n; v++ {
+				if err := emit(graph.NodeID(u), graph.NodeID(v)); err != nil {
+					return err
+				}
+			}
+			// Wrap-around lattice partners of u (only for u < k2) sit
+			// at the top of the ID range; shortcuts may not collide
+			// with them, so the candidate interval ends where they
+			// begin.
+			wrapStart := n
+			if u < k2 {
+				wrapStart = n - (k2 - u)
+			}
+			if p > 0 {
+				pr := fastrand.New(splitmix64(seed) ^ splitmix64(u+0x9e3779b9))
+				// Geometric gap-skipping: successive shortcut targets
+				// in (u+k2, wrapStart), ascending by construction.
+				v := u + k2
+				for {
+					// 1-Float64 ∈ (0, 1], so Log is finite and the
+					// gap is ≥ 1.
+					gap := uint64(math.Log(1-pr.Float64())*invLog1p) + 1
+					if v+gap >= wrapStart || v+gap < v {
+						break
+					}
+					v += gap
+					if err := emit(graph.NodeID(u), graph.NodeID(v)); err != nil {
+						return err
+					}
+				}
+			}
+			for v := wrapStart; v < n; v++ {
+				if err := emit(graph.NodeID(u), graph.NodeID(v)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// splitmix64 is the standard 64-bit mixing finalizer, used to derive
+// independent per-node shortcut streams from one seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"testing"
+
+	"mixtime/internal/graph"
+)
+
+// collect plays a stream into an edge list, asserting lex order as it
+// goes — the invariant the streaming MIXG writer depends on.
+func collect(t *testing.T, n uint64, stream func(func(u, v graph.NodeID) error) error) []graph.Edge {
+	t.Helper()
+	var edges []graph.Edge
+	var lastU, lastV graph.NodeID
+	first := true
+	err := stream(func(u, v graph.NodeID) error {
+		if u >= v {
+			t.Fatalf("edge {%d,%d} not ordered u<v", u, v)
+		}
+		if uint64(v) >= n {
+			t.Fatalf("edge {%d,%d} out of range", u, v)
+		}
+		if !first && (u < lastU || (u == lastU && v <= lastV)) {
+			t.Fatalf("edge {%d,%d} after {%d,%d} breaks lex order", u, v, lastU, lastV)
+		}
+		first, lastU, lastV = false, u, v
+		edges = append(edges, graph.Edge{U: u, V: v})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return edges
+}
+
+func TestRingERStreamStructure(t *testing.T) {
+	const n, k = 300, 6
+	const p = 0.01
+	edges := collect(t, n, RingER(n, k, p, 42))
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ring lattice is fully present: every node has its k nearest
+	// neighbors, so min degree ≥ k.
+	if g.MinDegree() < k {
+		t.Errorf("min degree %d below lattice degree %d", g.MinDegree(), k)
+	}
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			w := graph.NodeID((v + j) % n)
+			if !g.HasEdge(graph.NodeID(v), w) {
+				t.Fatalf("lattice edge {%d,%d} missing", v, w)
+			}
+		}
+	}
+	// Shortcut count is near p × candidate volume (loose 4σ-ish band).
+	lattice := int64(n * k / 2)
+	shortcuts := g.NumEdges() - lattice
+	expect := p * float64(n) * float64(n-2*(k/2)-1) / 2
+	if shortcuts < int64(expect/2) || shortcuts > int64(expect*2) {
+		t.Errorf("shortcut count %d far from expectation %.0f", shortcuts, expect)
+	}
+}
+
+func TestRingERStreamReplayable(t *testing.T) {
+	const n = 500
+	s := RingER(n, 8, 0.02, 7)
+	a := collect(t, n, s)
+	b := collect(t, n, s)
+	if len(a) != len(b) {
+		t.Fatalf("replay produced %d edges, first pass %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverges at edge %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Distinct seeds produce distinct shortcut sets.
+	c := collect(t, n, RingER(n, 8, 0.02, 8))
+	samePrefix := len(a) == len(c)
+	if samePrefix {
+		for i := range a {
+			if a[i] != c[i] {
+				samePrefix = false
+				break
+			}
+		}
+	}
+	if samePrefix {
+		t.Error("seeds 7 and 8 produced identical streams")
+	}
+}
+
+func TestRingERStreamRejectsBadParams(t *testing.T) {
+	noop := func(u, v graph.NodeID) error { return nil }
+	for name, s := range map[string]func(func(u, v graph.NodeID) error) error{
+		"k-too-small": RingER(10, 1, 0.1, 1),
+		"n-too-small": RingER(6, 6, 0.1, 1),
+		"p-negative":  RingER(10, 2, -0.5, 1),
+		"p-one":       RingER(10, 2, 1.0, 1),
+	} {
+		if err := s(noop); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// p = 0 is valid: a pure lattice.
+	edges := collect(t, 12, RingER(12, 4, 0, 1))
+	if len(edges) != 12*2 {
+		t.Errorf("pure lattice: got %d edges, want %d", len(edges), 24)
+	}
+}

@@ -94,18 +94,17 @@ func (b *Builder) Build() *Graph {
 		neighbors[cursor[e.V]] = e.U
 		cursor[e.V]++
 	}
-	g := &Graph{offsets: offsets, neighbors: neighbors}
 	// Adjacency lists come out sorted because edges were processed in
 	// (U,V) order for the U side; the V side needs a per-node sort only
 	// when sources interleave, so sort defensively (cheap: lists are
 	// already nearly sorted).
 	for v := 0; v < n; v++ {
-		adj := g.neighbors[g.offsets[v]:g.offsets[v+1]]
+		adj := neighbors[offsets[v]:offsets[v+1]]
 		if !sorted(adj) {
 			sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
 		}
 	}
-	return g
+	return adopt(offsets, neighbors)
 }
 
 func sorted(a []NodeID) bool {

@@ -3,6 +3,8 @@ package graphio
 import (
 	"bytes"
 	"encoding/binary"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"mixtime/internal/gen"
@@ -87,6 +89,25 @@ func FuzzReadMIXG(f *testing.F) {
 				if verr := g.Validate(); verr != nil {
 					t.Fatalf("reader accepted an invalid graph: %v", verr)
 				}
+			}
+		}
+		// The mmap loader must uphold the same contract on the same
+		// bytes (it may additionally fall through to the edge-list
+		// parser for non-binary input, which is fine — valid or error).
+		path := filepath.Join(t.TempDir(), "fuzz.mixg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mg, err := OpenMIXGMapped(path)
+		if err == nil {
+			if mg == nil || mg.Graph == nil {
+				t.Fatal("mapped loader returned nil graph without error")
+			}
+			if verr := mg.Validate(); verr != nil {
+				t.Fatalf("mapped loader accepted an invalid graph: %v", verr)
+			}
+			if err := mg.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
 			}
 		}
 	})

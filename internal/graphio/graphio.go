@@ -297,7 +297,11 @@ func readBinaryV1(r io.Reader, n, m uint64, size int64) (*graph.Graph, error) {
 
 // readBinaryV2 reads the CSR payload: n+1 uint64 offsets then 2m
 // uint32 adjacency entries, validated (monotone offsets, sorted
-// in-range symmetric adjacency) and adopted without rebuilding.
+// in-range symmetric adjacency) and adopted without rebuilding. The
+// offsets are narrowed to the graph's compact uint32 form as they
+// stream past (the adjacency length is bounded by 2m < 2³² for every
+// graph this package's node cap admits), so the load allocates
+// exactly the arrays the graph keeps — no widening copy.
 func readBinaryV2(r io.Reader, n, m uint64, size int64) (*graph.Graph, error) {
 	nOff, nAdj := graph.CSRSizes(int64(n), int64(m))
 	if size >= 0 {
@@ -307,7 +311,10 @@ func readBinaryV2(r io.Reader, n, m uint64, size int64) (*graph.Graph, error) {
 				n, m, need, size)
 		}
 	}
-	offsets := make([]int64, 0, min(uint64(nOff), chunkEntries))
+	if uint64(nAdj) > uint64(^uint32(0)) {
+		return nil, fmt.Errorf("graphio: adjacency length %d exceeds the uint32 CSR form", nAdj)
+	}
+	offsets := make([]uint32, 0, min(uint64(nOff), chunkEntries))
 	buf := make([]byte, 8*chunkEntries)
 	for read := int64(0); read < nOff; {
 		batch := min(nOff-read, chunkEntries)
@@ -322,15 +329,15 @@ func readBinaryV2(r io.Reader, n, m uint64, size int64) (*graph.Graph, error) {
 					off, read+i, nAdj)
 			case len(offsets) == 0 && off != 0:
 				return nil, fmt.Errorf("graphio: CSR offsets start at %d, want 0", off)
-			case len(offsets) > 0 && int64(off) < offsets[len(offsets)-1]:
+			case len(offsets) > 0 && uint32(off) < offsets[len(offsets)-1]:
 				return nil, fmt.Errorf("graphio: non-monotone CSR offsets at node %d (%d after %d)",
 					read+i, off, offsets[len(offsets)-1])
 			}
-			offsets = append(offsets, int64(off))
+			offsets = append(offsets, uint32(off))
 		}
 		read += batch
 	}
-	if last := offsets[len(offsets)-1]; last != nAdj {
+	if last := int64(offsets[len(offsets)-1]); last != nAdj {
 		return nil, fmt.Errorf("graphio: CSR offsets end at %d, want adjacency length %d", last, nAdj)
 	}
 	neighbors := make([]graph.NodeID, 0, min(uint64(nAdj), chunkEntries))
@@ -344,7 +351,7 @@ func readBinaryV2(r io.Reader, n, m uint64, size int64) (*graph.Graph, error) {
 		}
 		read += batch
 	}
-	g, err := graph.FromCSR(offsets, neighbors)
+	g, err := graph.FromCSR32(offsets, neighbors)
 	if err != nil {
 		return nil, fmt.Errorf("graphio: %w", err)
 	}

@@ -1,0 +1,28 @@
+//go:build linux
+
+package graphio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform has the memory-mapped
+// loading fast path; elsewhere the callers fall back to streamed
+// reads.
+const mmapSupported = true
+
+// mmapRead maps size bytes of f read-only and shared.
+func mmapRead(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// mmapWrite maps size bytes of f read-write and shared — the
+// streaming writer's scatter target. The file must already be
+// truncated to size.
+func mmapWrite(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping created by mmapRead or mmapWrite.
+func munmap(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package graphio
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported: no memory mapping off linux — OpenMIXGMapped and the
+// streaming writer fall back to their portable streamed paths.
+const mmapSupported = false
+
+var errNoMmap = errors.New("graphio: memory mapping unsupported on this platform")
+
+func mmapRead(f *os.File, size int64) ([]byte, error)  { return nil, errNoMmap }
+func mmapWrite(f *os.File, size int64) ([]byte, error) { return nil, errNoMmap }
+func munmap(b []byte) error                            { return nil }

@@ -36,7 +36,7 @@ func (c *Chain) StepBlock(dst, p []float64, width int, scratch []float64) {
 	}
 	if c.col != nil {
 		c.col.Add(telemetry.SpMMBlocks, 1)
-		c.col.Add(telemetry.EdgesScanned, c.adjLen)
+		c.col.Add(telemetry.EdgesScanned, int64(blockPasses(width))*c.adjLen)
 	}
 	size := n * width
 	w := scratch
@@ -45,25 +45,103 @@ func (c *Chain) StepBlock(dst, p []float64, width int, scratch []float64) {
 	} else {
 		w = w[:size]
 	}
-	for v := 0; v < n; v++ {
-		inv := c.invDeg[v]
-		row := p[v*width : (v+1)*width]
-		out := w[v*width : (v+1)*width]
-		for j, x := range row {
-			out[j] = x * inv
+	if width == 8 && useAVX2 {
+		scale8AVX(w, p, c.invDeg, n)
+	} else {
+		for v := 0; v < n; v++ {
+			inv := c.invDeg[v]
+			row := p[v*width : (v+1)*width]
+			out := w[v*width : (v+1)*width]
+			for j, x := range row {
+				out[j] = x * inv
+			}
 		}
 	}
 	c.stepBlockRows(dst, p, w, width, 0, n)
 }
 
+// blockPasses returns how many CSR passes one blocked step of the
+// given width costs after register-group decomposition: a group of 8
+// columns per pass, then a 4-group, a 2-group and a 1-group for the
+// tail. The telemetry EdgesScanned counter multiplies by this so the
+// observed edge traffic matches what the kernel really does.
+func blockPasses(width int) int {
+	passes := width / 8
+	for rem := width % 8; rem > 0; rem &= rem - 1 {
+		passes++
+	}
+	return passes
+}
+
 // stepBlockRows computes the blocked rows [lo, hi) from the
 // pre-scaled w = p/deg. Like stepRows, rows are independent and each
 // column's summation order matches the sequential kernel.
+//
+// Widths decompose into register-accumulator column groups: 8-column
+// groups first (one cache line of float64 per source row), then a
+// 4-, 2- and 1-column group for the tail, each group scanning the
+// CSR once with its partial sums held entirely in registers. A
+// memory-resident accumulator row (the pre-PR8 generic kernel) pays
+// a per-neighbor inner loop over the row and was ~4× slower per
+// source at width 4 than the width-8 register kernel; per-group
+// passes trade a little extra index traffic for register residency
+// and win at every width ≥ 2. Column j still sums its neighbors in
+// CSR order regardless of grouping, so every decomposition is
+// byte-identical to running the sequential Step on column j alone.
 func (c *Chain) stepBlockRows(dst, p, w []float64, width, lo, hi int) {
-	if width == 8 {
-		c.stepBlockRows8(dst, p, w, lo, hi)
+	off := c.g.Offsets32()
+	if off == nil {
+		c.stepBlockRowsWide(dst, p, w, width, lo, hi)
 		return
 	}
+	adj := c.g.Adjacency()
+	switch width {
+	case 8: // the DefaultBlockSize fast path, constant stride
+		if useAVX2 {
+			stepRows8AVX(dst, p, w, off, adj, 64, lo, hi, c.lazy)
+			return
+		}
+		c.stepBlockRows8(dst, p, w, lo, hi, off, adj)
+		return
+	case 4:
+		if useAVX2 {
+			stepRows4AVX(dst, p, w, off, adj, 32, lo, hi, c.lazy)
+			return
+		}
+		c.stepBlockRows4(dst, p, w, lo, hi, off, adj)
+		return
+	}
+	base := 0
+	for rem := width; rem > 0; {
+		switch {
+		case rem >= 8:
+			if useAVX2 {
+				stepRows8AVX(dst[base:], p[base:], w[base:], off, adj, width*8, lo, hi, c.lazy)
+			} else {
+				c.stepBlockRows8s(dst, p, w, width, base, lo, hi, off, adj)
+			}
+			base, rem = base+8, rem-8
+		case rem >= 4:
+			if useAVX2 {
+				stepRows4AVX(dst[base:], p[base:], w[base:], off, adj, width*8, lo, hi, c.lazy)
+			} else {
+				c.stepBlockRows4s(dst, p, w, width, base, lo, hi, off, adj)
+			}
+			base, rem = base+4, rem-4
+		case rem >= 2:
+			c.stepBlockRows2s(dst, p, w, width, base, lo, hi, off, adj)
+			base, rem = base+2, rem-2
+		default:
+			c.stepBlockRows1s(dst, p, w, width, base, lo, hi, off, adj)
+			base, rem = base+1, rem-1
+		}
+	}
+}
+
+// stepBlockRowsWide is the memory-accumulator fallback for graphs on
+// the int64 offset form (≥ 4B adjacency entries) — correctness only;
+// blocked propagation at that scale runs through the sharded kernels.
+func (c *Chain) stepBlockRowsWide(dst, p, w []float64, width, lo, hi int) {
 	for v := lo; v < hi; v++ {
 		out := dst[v*width : (v+1)*width]
 		for j := range out {
@@ -84,17 +162,15 @@ func (c *Chain) stepBlockRows(dst, p, w []float64, width, lo, hi int) {
 	}
 }
 
-// stepBlockRows8 is stepBlockRows fixed at the default width of 8
-// (one cache line of float64): the eight column accumulators live in
-// registers instead of a memory-resident out row, and the
-// slice-to-array conversions pay one bounds check per neighbor
-// instead of eight. Each column still sums its neighbors in CSR
-// order, so the output is byte-identical to the generic kernel.
-func (c *Chain) stepBlockRows8(dst, p, w []float64, lo, hi int) {
+// stepBlockRows8 is the width-8 register kernel (one cache line of
+// float64): the eight column accumulators live in registers instead
+// of a memory-resident out row, and the slice-to-array conversions
+// pay one bounds check per neighbor instead of eight.
+func (c *Chain) stepBlockRows8(dst, p, w []float64, lo, hi int, off []uint32, adj []graph.NodeID) {
 	for v := lo; v < hi; v++ {
 		var s0, s1, s2, s3, s4, s5, s6, s7 float64
-		for _, u := range c.g.Neighbors(graph.NodeID(v)) {
-			col := (*[8]float64)(w[int(u)*8:])
+		for i, end := int(off[v]), int(off[v+1]); i < end; i++ {
+			col := (*[8]float64)(w[int(adj[i])*8:])
 			s0 += col[0]
 			s1 += col[1]
 			s2 += col[2]
@@ -122,11 +198,151 @@ func (c *Chain) stepBlockRows8(dst, p, w []float64, lo, hi int) {
 	}
 }
 
+// stepBlockRows4 is the width-4 register kernel (half a cache line):
+// four register accumulators, constant stride.
+func (c *Chain) stepBlockRows4(dst, p, w []float64, lo, hi int, off []uint32, adj []graph.NodeID) {
+	for v := lo; v < hi; v++ {
+		var s0, s1, s2, s3 float64
+		for i, end := int(off[v]), int(off[v+1]); i < end; i++ {
+			col := (*[4]float64)(w[int(adj[i])*4:])
+			s0 += col[0]
+			s1 += col[1]
+			s2 += col[2]
+			s3 += col[3]
+		}
+		out := (*[4]float64)(dst[v*4:])
+		if c.lazy {
+			row := (*[4]float64)(p[v*4:])
+			out[0] = 0.5*row[0] + 0.5*s0
+			out[1] = 0.5*row[1] + 0.5*s1
+			out[2] = 0.5*row[2] + 0.5*s2
+			out[3] = 0.5*row[3] + 0.5*s3
+		} else {
+			out[0], out[1], out[2], out[3] = s0, s1, s2, s3
+		}
+	}
+}
+
+// stepBlockRows8s advances columns [base, base+8) of a width-stride
+// block — the strided twin of stepBlockRows8 composite widths chain.
+func (c *Chain) stepBlockRows8s(dst, p, w []float64, stride, base, lo, hi int, off []uint32, adj []graph.NodeID) {
+	for v := lo; v < hi; v++ {
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		for i, end := int(off[v]), int(off[v+1]); i < end; i++ {
+			col := (*[8]float64)(w[int(adj[i])*stride+base:])
+			s0 += col[0]
+			s1 += col[1]
+			s2 += col[2]
+			s3 += col[3]
+			s4 += col[4]
+			s5 += col[5]
+			s6 += col[6]
+			s7 += col[7]
+		}
+		out := (*[8]float64)(dst[v*stride+base:])
+		if c.lazy {
+			row := (*[8]float64)(p[v*stride+base:])
+			out[0] = 0.5*row[0] + 0.5*s0
+			out[1] = 0.5*row[1] + 0.5*s1
+			out[2] = 0.5*row[2] + 0.5*s2
+			out[3] = 0.5*row[3] + 0.5*s3
+			out[4] = 0.5*row[4] + 0.5*s4
+			out[5] = 0.5*row[5] + 0.5*s5
+			out[6] = 0.5*row[6] + 0.5*s6
+			out[7] = 0.5*row[7] + 0.5*s7
+		} else {
+			out[0], out[1], out[2], out[3] = s0, s1, s2, s3
+			out[4], out[5], out[6], out[7] = s4, s5, s6, s7
+		}
+	}
+}
+
+// stepBlockRows4s advances columns [base, base+4) of a width-stride
+// block.
+func (c *Chain) stepBlockRows4s(dst, p, w []float64, stride, base, lo, hi int, off []uint32, adj []graph.NodeID) {
+	for v := lo; v < hi; v++ {
+		var s0, s1, s2, s3 float64
+		for i, end := int(off[v]), int(off[v+1]); i < end; i++ {
+			col := (*[4]float64)(w[int(adj[i])*stride+base:])
+			s0 += col[0]
+			s1 += col[1]
+			s2 += col[2]
+			s3 += col[3]
+		}
+		out := (*[4]float64)(dst[v*stride+base:])
+		if c.lazy {
+			row := (*[4]float64)(p[v*stride+base:])
+			out[0] = 0.5*row[0] + 0.5*s0
+			out[1] = 0.5*row[1] + 0.5*s1
+			out[2] = 0.5*row[2] + 0.5*s2
+			out[3] = 0.5*row[3] + 0.5*s3
+		} else {
+			out[0], out[1], out[2], out[3] = s0, s1, s2, s3
+		}
+	}
+}
+
+// stepBlockRows2s advances columns [base, base+2) of a width-stride
+// block.
+func (c *Chain) stepBlockRows2s(dst, p, w []float64, stride, base, lo, hi int, off []uint32, adj []graph.NodeID) {
+	for v := lo; v < hi; v++ {
+		var s0, s1 float64
+		for i, end := int(off[v]), int(off[v+1]); i < end; i++ {
+			col := (*[2]float64)(w[int(adj[i])*stride+base:])
+			s0 += col[0]
+			s1 += col[1]
+		}
+		out := (*[2]float64)(dst[v*stride+base:])
+		if c.lazy {
+			row := (*[2]float64)(p[v*stride+base:])
+			out[0] = 0.5*row[0] + 0.5*s0
+			out[1] = 0.5*row[1] + 0.5*s1
+		} else {
+			out[0], out[1] = s0, s1
+		}
+	}
+}
+
+// stepBlockRows1s advances the single column base of a width-stride
+// block — the last resort of the tail decomposition.
+func (c *Chain) stepBlockRows1s(dst, p, w []float64, stride, base, lo, hi int, off []uint32, adj []graph.NodeID) {
+	for v := lo; v < hi; v++ {
+		var s float64
+		for i, end := int(off[v]), int(off[v+1]); i < end; i++ {
+			s += w[int(adj[i])*stride+base]
+		}
+		if c.lazy {
+			dst[v*stride+base] = 0.5*p[v*stride+base] + 0.5*s
+		} else {
+			dst[v*stride+base] = s
+		}
+	}
+}
+
 // blockTV writes, for each of the width columns of p, the total
 // variation distance to π into tv[:width]. One row-major pass serves
 // every column; per-column accumulation order matches TVDistance.
 func (c *Chain) blockTV(p []float64, width int, tv []float64) {
 	tv = tv[:width]
+	if width == 8 && useAVX2 {
+		blockTV8AVX(p, c.pi, len(c.pi), (*[8]float64)(tv))
+		for j := range tv {
+			tv[j] /= 2
+		}
+		return
+	}
+	if width == 1 { // flat accumulation, no per-row slices
+		var s float64
+		for v, pv := range c.pi {
+			d := p[v] - pv
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		tv[0] = s / 2
+		return
+	}
 	for j := range tv {
 		tv[j] = 0
 	}

@@ -1,0 +1,25 @@
+//go:build !amd64
+
+package markov
+
+import "mixtime/internal/graph"
+
+// useAVX2 is always false off amd64; the pure-Go register kernels in
+// block.go carry the blocked propagation.
+var useAVX2 = false
+
+func stepRows8AVX(dst, p, w []float64, off []uint32, adj []graph.NodeID, strideBytes, lo, hi int, lazy bool) {
+	panic("markov: AVX2 kernel called on non-amd64")
+}
+
+func stepRows4AVX(dst, p, w []float64, off []uint32, adj []graph.NodeID, strideBytes, lo, hi int, lazy bool) {
+	panic("markov: AVX2 kernel called on non-amd64")
+}
+
+func blockTV8AVX(p, pi []float64, n int, tv *[8]float64) {
+	panic("markov: AVX2 kernel called on non-amd64")
+}
+
+func scale8AVX(w, p, inv []float64, n int) {
+	panic("markov: AVX2 kernel called on non-amd64")
+}

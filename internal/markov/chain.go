@@ -147,8 +147,32 @@ func (c *Chain) Step(dst, p, scratch []float64) {
 // stepRows computes dst[v] for v in [lo, hi) from the pre-scaled
 // w = p/deg. Rows are independent, so any partition of the vertex
 // range produces bytes identical to a full sequential pass — the
-// invariant StepParallel and the sharded tests rely on.
+// invariant StepParallel and the sharded tests rely on. The compact
+// (uint32-offset) form gets a loop with the offset and adjacency
+// arrays hoisted into locals — no per-row slice construction, half
+// the offset bytes per row; per-row summation order is unchanged.
 func (c *Chain) stepRows(dst, p, w []float64, lo, hi int) {
+	if off := c.g.Offsets32(); off != nil {
+		adj := c.g.Adjacency()
+		if c.lazy {
+			for v := lo; v < hi; v++ {
+				var s float64
+				for i, end := int(off[v]), int(off[v+1]); i < end; i++ {
+					s += w[adj[i]]
+				}
+				dst[v] = 0.5*p[v] + 0.5*s
+			}
+			return
+		}
+		for v := lo; v < hi; v++ {
+			var s float64
+			for i, end := int(off[v]), int(off[v+1]); i < end; i++ {
+				s += w[adj[i]]
+			}
+			dst[v] = s
+		}
+		return
+	}
 	if c.lazy {
 		for v := lo; v < hi; v++ {
 			var s float64

@@ -112,6 +112,23 @@ func BenchmarkTraceSampleBlocked(b *testing.B) {
 	}
 }
 
+// BenchmarkMCTrace measures the Monte-Carlo walker kernel: 256
+// walkers stepped through the inlined-PCG neighbor-draw loop. The
+// per-op allocations are the trace and walker arrays (setup); the
+// per-step path is allocation-free.
+func BenchmarkMCTrace(b *testing.B) {
+	g := kernelGraph()
+	c, err := markov.New(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MCTrace(0, 50, 256, rng)
+	}
+}
+
 func BenchmarkPropagationExact(b *testing.B) {
 	g := kernelGraph()
 	c, err := markov.New(g)

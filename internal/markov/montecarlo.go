@@ -3,6 +3,7 @@ package markov
 import (
 	"math/rand/v2"
 
+	"mixtime/internal/fastrand"
 	"mixtime/internal/graph"
 	"mixtime/internal/telemetry"
 )
@@ -17,7 +18,14 @@ import (
 // noisy: the TV estimate is biased upward by sampling error of order
 // √(n/walks), so exact propagation is the method of record (and what
 // the paper uses). Kept as an ablation and as a cross-check.
+//
+// The walker loop draws from a private fastrand.PCG derived from rng
+// (one Uint64), so moves cost an inlined PCG32 step and a Lemire
+// bounded draw instead of an interface dispatch per neighbor pick.
+// Results are still a pure function of rng's seed, but the stream
+// differs from the pre-fastrand one.
 func (c *Chain) MCTrace(src graph.NodeID, maxT, walks int, rng *rand.Rand) *Trace {
+	pr := fastrand.FromRand(rng)
 	n := c.g.NumNodes()
 	pos := make([]graph.NodeID, walks)
 	for i := range pos {
@@ -40,15 +48,23 @@ func (c *Chain) MCTrace(src graph.NodeID, maxT, walks int, rng *rand.Rand) *Trac
 		sum += d
 	}
 	tv := make([]float64, maxT)
+	off := c.g.Offsets32()
+	adj := c.g.Adjacency()
 	var moves int64 // batched into the collector after the loop
 	for t := 0; t < maxT; t++ {
 		for i, v := range pos {
-			if c.lazy && rng.IntN(2) == 0 {
+			if c.lazy && pr.Coin() {
 				continue
 			}
 			moves++
-			adj := c.g.Neighbors(v)
-			u := adj[rng.IntN(len(adj))]
+			var u graph.NodeID
+			if off != nil {
+				o := off[v]
+				u = adj[o+pr.Uint32n(off[v+1]-o)]
+			} else {
+				nb := c.g.Neighbors(v)
+				u = nb[pr.IntN(len(nb))]
+			}
 			pos[i] = u
 			sum -= term[v] + term[u]
 			counts[v]--

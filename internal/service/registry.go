@@ -51,6 +51,10 @@ func (e *Entry) Info() api.GraphInfo {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
+	// mapped holds the file mappings backing entries loaded with
+	// LoadDirMapped; Close releases them, after which those entries'
+	// graphs must not be touched.
+	mapped []*graphio.MappedGraph
 }
 
 // NewRegistry returns an empty registry.
@@ -66,7 +70,13 @@ func (r *Registry) AddGraph(name, origin string, g *graph.Graph) (*Entry, error)
 	if name == "" {
 		return nil, fmt.Errorf("service: empty graph name")
 	}
-	lcc, _ := graph.LargestComponent(g)
+	// Connected graphs are served as-is: LargestComponent would copy
+	// the whole CSR, which both wastes memory and would sever a
+	// memory-mapped graph from its file backing.
+	lcc := g
+	if !graph.IsConnected(g) {
+		lcc, _ = graph.LargestComponent(g)
+	}
 	if lcc.NumNodes() < 2 {
 		return nil, fmt.Errorf("service: graph %q: largest component too small to measure", name)
 	}
@@ -99,6 +109,23 @@ func (r *Registry) AddDataset(name string, scale float64, seed uint64) (*Entry, 
 // and unreadable files fail the load: a daemon that silently serves
 // half its registry is worse than one that refuses to start.
 func (r *Registry) LoadDir(dir string) (int, error) {
+	return r.loadDir(dir, false)
+}
+
+// LoadDirMapped is LoadDir with uncompressed MIXG v2 snapshots
+// memory-mapped instead of read into the heap: the kernel pages
+// adjacency in on demand, so a directory of multi-gigabyte snapshots
+// starts serving in seconds. Mappings whose graph actually enters the
+// registry stay open until Close; inputs the mapping cannot serve
+// (edge lists, gzip, v1) load heap-backed exactly as LoadDir would.
+// Note the registration hash still touches every edge once, faulting
+// the file through page cache — startup I/O is sequential reads, not
+// avoided entirely.
+func (r *Registry) LoadDirMapped(dir string) (int, error) {
+	return r.loadDir(dir, true)
+}
+
+func (r *Registry) loadDir(dir string, mapped bool) (int, error) {
 	names, err := os.ReadDir(dir)
 	if err != nil {
 		return 0, fmt.Errorf("service: graphs dir: %w", err)
@@ -109,7 +136,16 @@ func (r *Registry) LoadDir(dir string) (int, error) {
 			continue
 		}
 		path := filepath.Join(dir, de.Name())
-		g, err := graphio.LoadFile(path)
+		var g *graph.Graph
+		var mg *graphio.MappedGraph
+		if mapped {
+			mg, err = graphio.OpenMIXGMapped(path)
+			if err == nil {
+				g = mg.Graph
+			}
+		} else {
+			g, err = graphio.LoadFile(path)
+		}
 		if err != nil {
 			return added, fmt.Errorf("service: load %s: %w", path, err)
 		}
@@ -117,12 +153,41 @@ func (r *Registry) LoadDir(dir string) (int, error) {
 		for _, ext := range []string{".gz", ".mixg", ".txt", ".edges"} {
 			stem = strings.TrimSuffix(stem, ext)
 		}
-		if _, err := r.AddGraph(stem, "file:"+path, g); err != nil {
+		e, err := r.AddGraph(stem, "file:"+path, g)
+		if err != nil {
+			if mg != nil {
+				mg.Close()
+			}
 			return added, err
+		}
+		if mg != nil && mg.Mapped() && e.Graph == mg.Graph {
+			// The mapping backs a served graph: keep it open.
+			r.mu.Lock()
+			r.mapped = append(r.mapped, mg)
+			r.mu.Unlock()
+		} else if mg != nil {
+			// Heap fallback, or AddGraph extracted a component copy —
+			// either way the file backing is no longer referenced.
+			mg.Close()
 		}
 		added++
 	}
 	return added, nil
+}
+
+// Close releases any file mappings opened by LoadDirMapped. Graphs
+// they backed become invalid; call only once serving has stopped.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, mg := range r.mapped {
+		if err := mg.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.mapped = nil
+	return first
 }
 
 // Get resolves a graph name.

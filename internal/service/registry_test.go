@@ -91,3 +91,47 @@ func TestRegistryLoadDir(t *testing.T) {
 		t.Fatal("corrupt file did not fail LoadDir")
 	}
 }
+
+func TestRegistryLoadDirMapped(t *testing.T) {
+	dir := t.TempDir()
+	d, err := datasets.ByName("physics-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Generate(0.002, 1)
+	if err := graphio.SaveFile(filepath.Join(dir, "snap.mixg"), g); err != nil {
+		t.Fatal(err)
+	}
+	// A gzip snapshot exercises the heap fallback inside the mapped
+	// loader.
+	if err := graphio.SaveFile(filepath.Join(dir, "zsnap.mixg.gz"), g); err != nil {
+		t.Fatal(err)
+	}
+
+	heap := NewRegistry()
+	if _, err := heap.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	n, err := r.LoadDirMapped(dir)
+	if err != nil || n != 2 {
+		t.Fatalf("LoadDirMapped = %d, %v; want 2, nil", n, err)
+	}
+	for _, name := range []string{"snap", "zsnap"} {
+		he, _ := heap.Get(name)
+		me, ok := r.Get(name)
+		if !ok {
+			t.Fatalf("%s missing from mapped registry", name)
+		}
+		// Identical hashes ⇒ the mapped path serves the same graph.
+		if he.Hash != me.Hash {
+			t.Fatalf("%s: mapped hash %s != heap hash %s", name, me.Hash, he.Hash)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := r.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -131,8 +131,32 @@ func (op *Operator) Apply(dst, x, scratch []float64) {
 // w = D^{-1/2}x. Rows are independent and each row sums its neighbors
 // in CSR order, so any partition of the vertex range produces bytes
 // identical to a full sequential pass — the invariant ApplyParallel
-// relies on.
+// relies on. On the compact (uint32-offset) form the offset and
+// adjacency arrays are hoisted into locals, skipping the per-row
+// slice construction; the wide form keeps the Neighbors loops.
 func (op *Operator) applyRows(dst, w []float64, lo, hi int) {
+	if off := op.g.Offsets32(); off != nil {
+		adj := op.g.Adjacency()
+		if op.weights != nil {
+			wt := op.weights
+			for v := lo; v < hi; v++ {
+				var s float64
+				for i, end := int(off[v]), int(off[v+1]); i < end; i++ {
+					s += wt[i] * w[adj[i]]
+				}
+				dst[v] = s * op.invSqrtDeg[v]
+			}
+			return
+		}
+		for v := lo; v < hi; v++ {
+			var s float64
+			for i, end := int(off[v]), int(off[v+1]); i < end; i++ {
+				s += w[adj[i]]
+			}
+			dst[v] = s * op.invSqrtDeg[v]
+		}
+		return
+	}
 	if op.weights != nil {
 		idx := op.g.AdjacencyOffset(graph.NodeID(lo))
 		for v := lo; v < hi; v++ {

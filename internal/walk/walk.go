@@ -19,6 +19,7 @@ package walk
 import (
 	"math/rand/v2"
 
+	"mixtime/internal/fastrand"
 	"mixtime/internal/graph"
 )
 
@@ -28,41 +29,75 @@ type DirectedEdge struct {
 }
 
 // Random performs a plain random walk of the given length from start
-// and returns the full vertex trajectory (length+1 vertices).
+// and returns the full vertex trajectory (length+1 vertices). The
+// step loop draws from a private fastrand.PCG derived from rng (one
+// Uint64), so neighbor picks are an inlined PCG32 step plus a Lemire
+// bounded draw — no interface dispatch per hop. Trajectories are a
+// pure function of rng's seed but differ from the pre-fastrand
+// streams.
 func Random(g *graph.Graph, start graph.NodeID, length int, rng *rand.Rand) []graph.NodeID {
+	pr := fastrand.FromRand(rng)
 	traj := make([]graph.NodeID, 0, length+1)
 	traj = append(traj, start)
 	cur := start
+	if off := g.Offsets32(); off != nil {
+		adj := g.Adjacency()
+		for i := 0; i < length; i++ {
+			o := off[cur]
+			cur = adj[o+pr.Uint32n(off[cur+1]-o)]
+			traj = append(traj, cur)
+		}
+		return traj
+	}
 	for i := 0; i < length; i++ {
 		adj := g.Neighbors(cur)
-		cur = adj[rng.IntN(len(adj))]
+		cur = adj[pr.IntN(len(adj))]
 		traj = append(traj, cur)
 	}
 	return traj
 }
 
 // Endpoint returns the final vertex of a plain random walk of the
-// given length from start.
+// given length from start. Same fastrand stream discipline as Random.
 func Endpoint(g *graph.Graph, start graph.NodeID, length int, rng *rand.Rand) graph.NodeID {
+	pr := fastrand.FromRand(rng)
 	cur := start
+	if off := g.Offsets32(); off != nil {
+		adj := g.Adjacency()
+		for i := 0; i < length; i++ {
+			o := off[cur]
+			cur = adj[o+pr.Uint32n(off[cur+1]-o)]
+		}
+		return cur
+	}
 	for i := 0; i < length; i++ {
 		adj := g.Neighbors(cur)
-		cur = adj[rng.IntN(len(adj))]
+		cur = adj[pr.IntN(len(adj))]
 	}
 	return cur
 }
 
 // Tail returns the last directed edge of a plain random walk of
-// length ≥ 1.
+// length ≥ 1. Same fastrand stream discipline as Random.
 func Tail(g *graph.Graph, start graph.NodeID, length int, rng *rand.Rand) DirectedEdge {
 	if length < 1 {
 		length = 1
 	}
+	pr := fastrand.FromRand(rng)
 	prev, cur := start, start
+	if off := g.Offsets32(); off != nil {
+		adj := g.Adjacency()
+		for i := 0; i < length; i++ {
+			o := off[cur]
+			prev = cur
+			cur = adj[o+pr.Uint32n(off[cur+1]-o)]
+		}
+		return DirectedEdge{From: prev, To: cur}
+	}
 	for i := 0; i < length; i++ {
 		adj := g.Neighbors(cur)
 		prev = cur
-		cur = adj[rng.IntN(len(adj))]
+		cur = adj[pr.IntN(len(adj))]
 	}
 	return DirectedEdge{From: prev, To: cur}
 }

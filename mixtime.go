@@ -78,6 +78,24 @@ func ReadEdgeList(r io.Reader) (*Graph, error) { return graphio.ReadEdgeList(r) 
 // WriteEdgeList writes g as edge-list text.
 func WriteEdgeList(w io.Writer, g *Graph) error { return graphio.WriteEdgeList(w, g) }
 
+// EdgeStream is a replayable lex-ordered edge producer — the input of
+// SaveGraphStreamed. See graphio.EdgeStream for the full contract.
+type EdgeStream = graphio.EdgeStream
+
+// MappedGraph is a graph served from a memory-mapped MIXG snapshot;
+// Close unmaps it. See graphio.MappedGraph for lifecycle rules.
+type MappedGraph = graphio.MappedGraph
+
+// LoadGraphMapped opens a graph with its adjacency memory-mapped from
+// an uncompressed MIXG v2 snapshot (other formats load heap-backed).
+func LoadGraphMapped(path string) (*MappedGraph, error) { return graphio.OpenMIXGMapped(path) }
+
+// SaveGraphStreamed writes an n-node MIXG v2 snapshot from an edge
+// stream without materializing the edge list or adjacency in RAM.
+func SaveGraphStreamed(path string, n uint64, stream EdgeStream) error {
+	return graphio.WriteMIXGStreamed(path, n, stream)
+}
+
 // --- Generators -----------------------------------------------------
 
 // BarabasiAlbert generates a preferential-attachment graph with n
@@ -96,6 +114,14 @@ func ErdosRenyi(n int, p float64, seed uint64) *Graph {
 // neighbours per side, rewiring probability beta).
 func WattsStrogatz(n, k int, beta float64, seed uint64) *Graph {
 	return gen.WattsStrogatz(n, k, beta, rngFor(seed))
+}
+
+// RingERStream streams a "ringer" small world (ring lattice of k
+// nearest neighbours plus ER shortcuts with probability p) as a
+// replayable lex-ordered edge stream. Feed it to SaveGraphStreamed to
+// generate graphs far larger than RAM; see gen.RingER.
+func RingERStream(n uint64, k int, p float64, seed uint64) EdgeStream {
+	return gen.RingER(n, k, p, seed)
 }
 
 // RelaxedCaveman generates clustered clique chains — the model of

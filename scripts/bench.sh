@@ -2,10 +2,12 @@
 # bench.sh — the kernel benchmark harness: runs the propagation and
 # matvec kernel benchmarks (blocked SpMM at every width, the sharded
 # parallel matvec, the plain Step baseline with and without a
-# telemetry collector, the distributed walker-flood superstep kernel,
-# and the pre-existing sequential baselines) and
-# writes a machine-readable snapshot to BENCH_PR7.json so kernel
-# regressions are diffable across commits. The benchmarks live in the
+# telemetry collector, the Monte-Carlo walker kernel, the distributed
+# walker-flood superstep kernel, and the pre-existing sequential
+# baselines) with -benchmem and writes a machine-readable snapshot
+# (ns/op plus B/op and allocs/op per benchmark) to BENCH_PR8.json so
+# kernel regressions — time or allocation — are diffable across
+# commits. The benchmarks live in the
 # kernel packages themselves (internal/markov, internal/spectral,
 # internal/distmix), so each bench binary links only its kernel's
 # dependencies — code growth elsewhere in the repo cannot shift
@@ -26,15 +28,20 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-0.5s}"
 COUNT="${COUNT:-3}"
-OUT="${OUT:-BENCH_PR7.json}"
-PATTERN='BenchmarkStep$|BenchmarkStepCollector$|BenchmarkStepBlock|BenchmarkTraceSampleBlocked|BenchmarkApplyParallel|BenchmarkPropagationExact|BenchmarkSLEMPower$|BenchmarkSLEMLanczos$|BenchmarkDistMixEstimate'
+OUT="${OUT:-BENCH_PR8.json}"
+PATTERN='BenchmarkStep$|BenchmarkStepCollector$|BenchmarkStepBlock|BenchmarkTraceSampleBlocked|BenchmarkMCTrace$|BenchmarkApplyParallel|BenchmarkPropagationExact|BenchmarkSLEMPower$|BenchmarkSLEMLanczos$|BenchmarkDistMixEstimate'
+# The steady-state matvec kernels must never touch the allocator; the
+# snapshot records allocs/op (-benchmem) and benchdiff enforces zero
+# for this family. Trace-level benchmarks allocate their result
+# buffers per op and are exempt (but still diffed for growth).
+ZEROALLOC='^Benchmark(Step$|StepCollector$|StepBlock)'
 
 echo "== go test -bench ($BENCHTIME per benchmark, $COUNT passes, keeping min) =="
 raw=""
 pass=1
 while [ "$pass" -le "$COUNT" ]; do
 	echo "-- pass $pass/$COUNT --"
-	out=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count 1 \
+	out=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem -count 1 \
 		./internal/markov ./internal/spectral ./internal/distmix)
 	echo "$out"
 	raw="$raw
@@ -47,20 +54,29 @@ echo "$raw" | awk -v out="$OUT" '
 	/^Benchmark/ {
 		name = $1
 		iters = $2
-		nsop = $3
-		extra = ""
-		# Optional custom metric pair, e.g. "14197 ns/source" or
-		# "53 matvecs", after the ns/op pair.
-		if (NF >= 6) {
-			extra = sprintf(",\n    \"%s\": %s", $6, $5)
+		# Fields from $3 on are (value, unit) pairs: ns/op always,
+		# then optional custom metrics (ns/source, matvecs, ...) and
+		# the -benchmem pair (B/op, allocs/op). Walk them by unit so
+		# the layout may vary per benchmark.
+		nsop = ""; extra = ""; bop = ""; aop = ""
+		for (i = 3; i < NF; i += 2) {
+			val = $i; unit = $(i + 1)
+			if (unit == "ns/op")           nsop = val
+			else if (unit == "B/op")       bop = val
+			else if (unit == "allocs/op")  aop = val
+			else extra = sprintf(",\n    \"%s\": %s", unit, val)
 		}
+		if (nsop == "") next
+		mem = ""
+		if (bop != "" && aop != "")
+			mem = sprintf(",\n    \"bytes_per_op\": %s,\n    \"allocs_per_op\": %s", bop, aop)
 		# -count repeats every benchmark; keep the fastest
 		# repetition (noise only ever slows a run down).
 		if (!(name in best) || nsop + 0 < best[name] + 0) {
 			if (!(name in best))
 				order[++n] = name
 			best[name] = nsop
-			row[name] = sprintf("  {\n    \"name\": \"%s\",\n    \"iterations\": %s,\n    \"ns_per_op\": %s%s\n  }", name, iters, nsop, extra)
+			row[name] = sprintf("  {\n    \"name\": \"%s\",\n    \"iterations\": %s,\n    \"ns_per_op\": %s%s%s\n  }", name, iters, nsop, extra, mem)
 		}
 	}
 	END {
@@ -92,7 +108,7 @@ fi
 prev=$(ls BENCH_*.json 2>/dev/null | grep -Fxv "$OUT" | sort -V | tail -n 1 || true)
 if [ -n "$prev" ]; then
 	echo "== benchdiff $prev -> $OUT =="
-	go run ./scripts "$prev" "$OUT"
+	go run ./scripts -zeroalloc "$ZEROALLOC" "$prev" "$OUT"
 else
 	echo "no previous BENCH_*.json snapshot; skipping benchdiff"
 fi

@@ -31,13 +31,18 @@ import (
 	"strings"
 )
 
-// benchEntry is one benchmark result in a bench.sh snapshot. Extra
-// custom metrics (ns/source, matvecs, ...) are ignored: ns/op is the
-// regression-gated quantity.
+// benchEntry is one benchmark result in a bench.sh snapshot. Custom
+// throughput metrics (ns/source, matvecs, ...) are ignored; ns/op is
+// regression-gated, and the -benchmem pair — when the snapshot
+// carries it — is gated too: allocation counts are deterministic, so
+// any growth is a real code change, not noise. Pointers distinguish
+// "absent" (older snapshots) from a recorded zero.
 type benchEntry struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // cpuSuffix matches the -N GOMAXPROCS suffix go test appends to
@@ -80,6 +85,40 @@ type diffLine struct {
 	Delta    float64 // (new-old)/old; 0 when either side is missing
 	Status   string  // "ok", "REGRESSED", "improved", "added", "removed"
 	Regressn bool
+}
+
+// allocRegression reports whether the -benchmem pair regressed: a
+// kernel that was allocation-free must stay allocation-free (any new
+// alloc is a regression), and one that allocated may not allocate
+// more. Both counters are deterministic per code version, so the
+// comparison is exact, not thresholded. Absent data on either side
+// (older snapshot without -benchmem) gates nothing.
+func allocRegression(o, e benchEntry) (string, bool) {
+	if o.AllocsPerOp != nil && e.AllocsPerOp != nil && *e.AllocsPerOp > *o.AllocsPerOp {
+		return fmt.Sprintf("allocs/op %v -> %v", *o.AllocsPerOp, *e.AllocsPerOp), true
+	}
+	if o.BytesPerOp != nil && e.BytesPerOp != nil && *e.BytesPerOp > *o.BytesPerOp {
+		return fmt.Sprintf("B/op %v -> %v", *o.BytesPerOp, *e.BytesPerOp), true
+	}
+	return "", false
+}
+
+// zeroAllocViolations returns the entries matching re whose recorded
+// allocs/op is nonzero — the steady-state kernel gate: hot loops must
+// not touch the allocator at all. Entries without -benchmem data
+// match nothing (the caller's snapshot is too old to certify).
+func zeroAllocViolations(entries []benchEntry, re *regexp.Regexp) []string {
+	var bad []string
+	for _, e := range entries {
+		n := normalizeName(e.Name)
+		if !re.MatchString(n) {
+			continue
+		}
+		if e.AllocsPerOp != nil && *e.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("%s: %v allocs/op", n, *e.AllocsPerOp))
+		}
+	}
+	return bad
 }
 
 // diffSnapshots compares two snapshots under a relative ns/op growth
@@ -127,6 +166,11 @@ func diffSnapshots(old, new []benchEntry, threshold float64) (lines []diffLine, 
 				l.Status = "improved"
 			default:
 				l.Status = "ok"
+			}
+			if why, bad := allocRegression(o, e); bad {
+				l.Status = "REGRESSED(" + why + ")"
+				l.Regressn = true
+				regressed = true
 			}
 		}
 		lines = append(lines, l)
@@ -179,8 +223,9 @@ func loadSnapshot(path string) ([]benchEntry, error) {
 func main() {
 	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 0.15, "relative ns/op growth that counts as a regression")
+	zeroAlloc := fs.String("zeroalloc", "", "regexp of benchmarks in <new.json> that must report 0 allocs/op")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] <old.json> <new.json>")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] [-zeroalloc REGEXP] <old.json> <new.json>")
 		fs.PrintDefaults()
 	}
 	// Accept flags before or after the positional snapshots.
@@ -212,6 +257,20 @@ func main() {
 	}
 	lines, regressed := diffSnapshots(oldEntries, newEntries, *threshold)
 	fmt.Printf("benchdiff: %s -> %s\n%s", paths[0], paths[1], renderDiff(lines, *threshold))
+	if *zeroAlloc != "" {
+		re, err := regexp.Compile(*zeroAlloc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: -zeroalloc:", err)
+			os.Exit(2)
+		}
+		if bad := zeroAllocViolations(newEntries, re); len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintln(os.Stderr, "benchdiff: zero-alloc gate:", b)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("zero-alloc gate (%s): clean\n", *zeroAlloc)
+	}
 	if regressed {
 		fmt.Fprintln(os.Stderr, "benchdiff: kernel regression above threshold")
 		os.Exit(1)

@@ -1,12 +1,18 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
 
 func entry(name string, ns float64) benchEntry {
 	return benchEntry{Name: name, Iterations: 100, NsPerOp: ns}
+}
+
+func memEntry(name string, ns, bytes, allocs float64) benchEntry {
+	return benchEntry{Name: name, Iterations: 100, NsPerOp: ns,
+		BytesPerOp: &bytes, AllocsPerOp: &allocs}
 }
 
 func TestNormalizeNameStripsCPUSuffix(t *testing.T) {
@@ -114,6 +120,54 @@ func TestRenderDiffMentionsRegression(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestDiffFlagsSyntheticAllocRegression(t *testing.T) {
+	// A kernel that gained a single alloc/op must trip the gate even
+	// with identical ns/op (allocation counts are deterministic, so
+	// there is no noise to tolerate).
+	old := []benchEntry{memEntry("BenchmarkStepBlock/B=8-1", 1000, 0, 0)}
+	new := []benchEntry{memEntry("BenchmarkStepBlock/B=8-1", 1000, 48, 1)}
+	lines, regressed := diffSnapshots(old, new, 0.15)
+	if !regressed {
+		t.Fatal("0 -> 1 allocs/op must regress")
+	}
+	if !strings.Contains(lines[0].Status, "allocs/op") {
+		t.Errorf("status = %q, want an allocs/op mention", lines[0].Status)
+	}
+
+	// B/op growth alone (same alloc count, bigger allocations) also
+	// gates.
+	old = []benchEntry{memEntry("BenchmarkTrace-1", 1000, 64, 2)}
+	new = []benchEntry{memEntry("BenchmarkTrace-1", 1000, 128, 2)}
+	lines, regressed = diffSnapshots(old, new, 0.15)
+	if !regressed || !strings.Contains(lines[0].Status, "B/op") {
+		t.Errorf("B/op growth not flagged: %+v", lines)
+	}
+
+	// Absent -benchmem data on either side gates nothing.
+	old = []benchEntry{entry("BenchmarkStep-1", 1000)}
+	new = []benchEntry{memEntry("BenchmarkStep-1", 1000, 999, 9)}
+	if _, regressed := diffSnapshots(old, new, 0.15); regressed {
+		t.Fatal("an old snapshot without alloc data must not gate")
+	}
+}
+
+func TestZeroAllocViolations(t *testing.T) {
+	re := regexp.MustCompile(`^BenchmarkStep`)
+	entries := []benchEntry{
+		memEntry("BenchmarkStep-1", 100, 0, 0),
+		memEntry("BenchmarkStepBlock/B=8-1", 100, 32, 1),             // violation
+		memEntry("BenchmarkTraceSampleBlocked/B=8-1", 100, 4096, 12), // unmatched: fine
+		entry("BenchmarkStepCollector-1", 100),                       // no data: not certified, not failed
+	}
+	bad := zeroAllocViolations(entries, re)
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkStepBlock/B=8") {
+		t.Fatalf("violations = %v, want exactly the StepBlock entry", bad)
+	}
+	if bad = zeroAllocViolations(entries[:1], re); len(bad) != 0 {
+		t.Fatalf("clean kernel flagged: %v", bad)
 	}
 }
 

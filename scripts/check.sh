@@ -141,6 +141,77 @@ cleanup_smoke
 trap - EXIT
 echo "burst ok, 1 solve, graceful shutdown"
 
+echo "== zero-alloc kernel gate (live) =="
+# The steady-state matvec kernels must not touch the allocator: run
+# them briefly with -benchmem and fail on any nonzero allocs/op. This
+# is a live check against the working tree — benchdiff's -zeroalloc
+# gate below covers only the recorded snapshot.
+alloc_bad=$(go test -run '^$' -bench 'BenchmarkStep$|BenchmarkStepCollector$|BenchmarkStepBlock' \
+	-benchtime 20x -benchmem ./internal/markov |
+	awk '/^Benchmark/ { for (i = 3; i < NF; i++) if ($(i + 1) == "allocs/op" && $i + 0 > 0) print "  " $1 ": " $i " allocs/op" }')
+if [ -n "$alloc_bad" ]; then
+	echo "steady-state kernels allocate:" >&2
+	echo "$alloc_bad" >&2
+	exit 1
+fi
+echo "Step/StepBlock kernels: 0 allocs/op"
+
+echo "== 1M-node streamed/mmap scale smoke =="
+# The raw-speed loading pipeline end to end at scale: gensocial
+# streams a 1M-node ringer graph straight to disk (no in-RAM edge
+# list), mixtimed serves it memory-mapped, and a bounded distmix
+# query must answer. The daemon's peak RSS is gated at 512 MiB —
+# about 2x the measured ~250 MiB (walker state dominates; the 36 MB
+# graph itself stays file-backed) — so a change that silently
+# rematerializes the graph or the edge list in RAM fails loudly.
+scale_dir=$(mktemp -d)
+cleanup_scale() {
+	if [ -n "${scale_pid:-}" ]; then
+		kill "$scale_pid" 2>/dev/null || true
+		wait "$scale_pid" 2>/dev/null || true
+	fi
+	rm -rf "$scale_dir"
+}
+trap cleanup_scale EXIT
+go build -o "$scale_dir/gensocial" ./cmd/gensocial
+go build -o "$scale_dir/mixtimed" ./cmd/mixtimed
+mkdir "$scale_dir/graphs"
+"$scale_dir/gensocial" -model ringer -n 1000000 -k 6 -p 1e-6 -seed 7 \
+	-stream -o "$scale_dir/graphs/ringer1m.mixg"
+"$scale_dir/mixtimed" -graphs "$scale_dir/graphs" -mmap \
+	-addr 127.0.0.1:0 -addr-file "$scale_dir/addr" >"$scale_dir/daemon.log" 2>&1 &
+scale_pid=$!
+tries=0
+while [ ! -s "$scale_dir/addr" ]; do
+	tries=$((tries + 1))
+	if [ "$tries" -gt 200 ]; then
+		echo "mixtimed (mmap) never published its address" >&2
+		cat "$scale_dir/daemon.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+scale_addr=$(cat "$scale_dir/addr")
+scale_json=$(curl -s -X POST "http://$scale_addr/v1/query" \
+	-d '{"op":"distmix","graph":"ringer1m","params":{"seed":1,"sources":2,"eps":0.25,"max_walk":30,"dist_walks":2,"dist_rounds":30}}')
+scale_tau=$(printf '%s' "$scale_json" | grep -o '"tau": *[0-9]*' | head -1 | grep -o '[0-9]*$')
+if [ -z "${scale_tau:-}" ]; then
+	echo "scale smoke: distmix on the mapped 1M-node graph returned no tau" >&2
+	echo "$scale_json" >&2
+	exit 1
+fi
+hwm_kb=$(grep VmHWM "/proc/$scale_pid/status" | grep -o '[0-9]*')
+if [ "${hwm_kb:-0}" -gt 524288 ]; then
+	echo "scale smoke: daemon peak RSS ${hwm_kb} kB exceeds the 512 MiB budget" >&2
+	exit 1
+fi
+kill -INT "$scale_pid"
+wait "$scale_pid" || { echo "mixtimed (mmap) did not shut down cleanly" >&2; exit 1; }
+scale_pid=""
+cleanup_scale
+trap - EXIT
+echo "1M nodes streamed, mapped, distmix tau=$scale_tau, peak RSS ${hwm_kb} kB (budget 524288)"
+
 echo "== benchdiff =="
 # Gate the two newest kernel benchmark snapshots against each other.
 # Snapshots are ordered by version-sorted name (BENCH_PR3 < BENCH_PR4
@@ -150,7 +221,7 @@ echo "== benchdiff =="
 # record one.
 set -- $(ls BENCH_*.json 2>/dev/null | sort -V | tail -2)
 if [ "$#" -ge 2 ]; then
-	go run ./scripts "$1" "$2"
+	go run ./scripts -zeroalloc '^Benchmark(Step$|StepCollector$|StepBlock)' "$1" "$2"
 else
 	echo "fewer than two BENCH_*.json snapshots; skipping"
 fi
