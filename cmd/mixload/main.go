@@ -11,11 +11,19 @@
 // pure cache benchmark; `-distinct 1000 -n 1000` is a pure solve
 // benchmark.
 //
+// With -mutate-every N, every Nth request slot becomes a POST
+// /v1/mutate that grows the target graph by -mutate-grow random edges
+// — the live-graph workload: each mutation bumps the graph's version,
+// evicts its cached results, and forces the next identical query to
+// re-solve under a new fingerprint. The summary line reports applied
+// mutations and total evictions.
+//
 // Usage:
 //
 //	mixload -addr 127.0.0.1:8642                      # 200 slem queries, 8 workers
 //	mixload -addr $A -op cdf -graph dblp -n 500 -c 16
 //	mixload -addr $A -op bounds -distinct 20 -n 400
+//	mixload -addr $A -graph physics-1 -n 300 -mutate-every 50
 //
 // Exit status is non-zero if any request failed — a zero-error burst
 // is the e2e smoke criterion scripts/check.sh enforces.
@@ -52,6 +60,8 @@ func run() int {
 	distShards := flag.Int("distshards", api.DefaultDistShards, "simulated shard count for distmix requests")
 	distWalks := flag.Int("distwalks", api.DefaultDistWalks, "walkers per node for distmix requests")
 	distRounds := flag.Int("distrounds", api.DefaultDistRounds, "superstep budget for distmix requests")
+	mutateEvery := flag.Int("mutate-every", 0, "issue one POST /v1/mutate per this many queries (0 = never); the target graph must be served -mutable")
+	mutateGrow := flag.Int("mutate-grow", 4, "random absent edges each mutation inserts (the grow knob of the mutate request)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
 	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the daemon to become healthy")
 	flag.Parse()
@@ -62,6 +72,14 @@ func run() int {
 	}
 	if *n <= 0 || *conc <= 0 || *distinct <= 0 {
 		fmt.Fprintln(os.Stderr, "mixload: -n, -c and -distinct must be positive")
+		return 2
+	}
+	if *mutateEvery < 0 || *mutateGrow <= 0 {
+		fmt.Fprintln(os.Stderr, "mixload: -mutate-every must be non-negative and -mutate-grow positive")
+		return 2
+	}
+	if *mutateEvery > 0 && *op == api.OpExperiment {
+		fmt.Fprintln(os.Stderr, "mixload: -mutate-every needs a graph op (experiments are not graph-addressed)")
 		return 2
 	}
 
@@ -120,10 +138,12 @@ func run() int {
 		hit bool
 	}
 	var (
-		next     atomic.Int64
-		errCount atomic.Int64
-		mu       sync.Mutex
-		samples  []sample
+		next      atomic.Int64
+		errCount  atomic.Int64
+		mutations atomic.Int64
+		evicted   atomic.Int64
+		mu        sync.Mutex
+		samples   []sample
 	)
 	started := time.Now()
 	var wg sync.WaitGroup
@@ -135,6 +155,24 @@ func run() int {
 				i := next.Add(1) - 1
 				if i >= int64(*n) || ctx.Err() != nil {
 					return
+				}
+				// Request index i becomes a mutation on every
+				// -mutate-every'th slot (never the first, so the cache is
+				// warm before the first eviction): live-graph churn
+				// interleaved with the query load.
+				if *mutateEvery > 0 && i > 0 && i%int64(*mutateEvery) == 0 {
+					rctx, cancel := context.WithTimeout(ctx, *timeout)
+					mres, err := client.Mutate(rctx, api.MutateRequest{
+						Graph: target, Grow: *mutateGrow})
+					cancel()
+					if err != nil {
+						errCount.Add(1)
+						fmt.Fprintf(os.Stderr, "mixload: mutate %d: %v\n", i, err)
+						continue
+					}
+					mutations.Add(1)
+					evicted.Add(int64(mres.Evicted))
+					continue
 				}
 				req := template
 				req.Params.Seed = uint64(i % int64(*distinct))
@@ -172,6 +210,10 @@ func run() int {
 		float64(len(samples))/wall.Seconds())
 	printBucket("cache-hit ", hits)
 	printBucket("cache-miss", misses)
+	if *mutateEvery > 0 {
+		fmt.Printf("  mutations:   %d applied, %d cached results evicted\n",
+			mutations.Load(), evicted.Load())
+	}
 
 	if errCount.Load() > 0 || ctx.Err() != nil {
 		return 1

@@ -9,6 +9,7 @@
 // internal/api; the endpoints are:
 //
 //	POST /v1/query   — slem | bounds | cdf | admission | distmix | experiment
+//	POST /v1/mutate  — edge insert/delete/grow batches on -mutable graphs
 //	GET  /v1/graphs  — the registry listing
 //	GET  /healthz    — 200 while serving, 503 while draining
 //	GET  /stats      — service counters, kernel telemetry, pool/cache occupancy
@@ -17,6 +18,12 @@
 // hash, output-determining parameters): concurrent identical queries
 // collapse onto one solve, and repeats replay from memory — watch
 // service_solves in /stats stay flat while service_cache_hits climbs.
+//
+// Graphs named in -mutable are served live: POST /v1/mutate applies an
+// atomic edge batch, bumps the graph's mutation epoch, and evicts every
+// cached result computed against older epochs (fingerprints embed the
+// version-stamped content hash, so stale answers cannot survive a
+// mutation). Watch service_mutations and service_evictions in /stats.
 //
 // The first SIGINT/SIGTERM shuts down gracefully: the listener
 // closes, new queries are rejected with 503, in-flight ones run to
@@ -57,6 +64,7 @@ func run() int {
 	dataset := flag.String("datasets", "", `comma-separated Table-1 dataset names to generate and serve ("all" for every one)`)
 	scale := flag.Float64("scale", api.DefaultScale, "scale factor for generated datasets")
 	seed := flag.Uint64("seed", api.DefaultSeed, "seed for generated datasets")
+	mutable := flag.String("mutable", "", `comma-separated registered graph names to serve as live, mutable graphs accepting POST /v1/mutate ("all" for every one)`)
 	pool := flag.Int("pool", 0, "max concurrent solves (0 = GOMAXPROCS); hits and joins bypass the pool")
 	cacheMax := flag.Int("cache-max", 0, "completed results kept before FIFO eviction (0 = default)")
 	solveTimeout := flag.Duration("solve-timeout", 0, "hard cap on any single solve (0 = none)")
@@ -101,6 +109,28 @@ func run() int {
 		return 2
 	}
 
+	col := telemetry.New()
+	if *mutable != "" {
+		names := strings.Split(*mutable, ",")
+		if strings.TrimSpace(*mutable) == "all" {
+			names = names[:0]
+			for _, gi := range reg.List() {
+				names = append(names, gi.Name)
+			}
+		}
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := reg.MakeMutable(name, col); err != nil {
+				fmt.Fprintln(os.Stderr, "mixtimed:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "mixtimed: serving %s as a mutable graph\n", name)
+		}
+	}
+
 	// Two lifetimes: the signal context ends admission, the base
 	// context ends solves. They are separate so that draining requests
 	// keep their solves alive after the first signal.
@@ -113,7 +143,7 @@ func run() int {
 		PoolSize:     *pool,
 		CacheMax:     *cacheMax,
 		SolveTimeout: *solveTimeout,
-		Collector:    telemetry.New(),
+		Collector:    col,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

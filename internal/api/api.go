@@ -278,11 +278,97 @@ type GraphInfo struct {
 	Nodes int    `json:"nodes"`
 	Edges int64  `json:"edges"`
 	// Hash is the content identity of the loaded component — the graph
-	// part of every fingerprint.
+	// part of every fingerprint. Mutable graphs stamp it with the
+	// current mutation epoch ("<sha256>@v<version>"), so every epoch
+	// fingerprints differently and stale cache entries can never serve
+	// a post-mutation query.
 	Hash string `json:"hash"`
 	// Origin says where the graph came from: "file:<path>" or
 	// "dataset:<name>:<scale>".
 	Origin string `json:"origin"`
+	// Mutable reports the graph accepts POST /v1/mutate; Version is its
+	// current mutation epoch (0 until the first mutation).
+	Mutable bool   `json:"mutable,omitempty"`
+	Version uint64 `json:"version,omitempty"`
+}
+
+// maxNodeID is the largest node ID the CSR representation can address
+// (graph.MaxNodes, restated here so the wire schema stays free of
+// internal imports).
+const maxNodeID = 1<<32 - 2
+
+// EdgeSpec is one undirected edge of a mutation request. Order of the
+// endpoints is irrelevant; self-loops are ignored server-side.
+type EdgeSpec struct {
+	U int64 `json:"u"`
+	V int64 `json:"v"`
+}
+
+// MutateRequest is the body of POST /v1/mutate: one atomic mutation
+// batch against a registered mutable graph. Inserts may reference node
+// IDs beyond the current range, growing the graph; deletes of absent
+// edges are no-ops; an edge in both lists is deleted (delete wins).
+// Applying any batch — even an all-no-op one — bumps the graph's
+// version and evicts every cached result computed against earlier
+// epochs.
+type MutateRequest struct {
+	SchemaVersion int    `json:"schema_version,omitempty"`
+	Graph         string `json:"graph"`
+	// Insert and Delete are explicit edge batches.
+	Insert []EdgeSpec `json:"insert,omitempty"`
+	Delete []EdgeSpec `json:"delete,omitempty"`
+	// Grow, when positive, additionally inserts this many uniformly
+	// sampled absent edges, server-side — the growth trajectory of
+	// experiment E1 driven over the wire. On dense graphs the sampler
+	// may come back short; the response's Inserted count is the truth.
+	Grow int `json:"grow,omitempty"`
+	// Seed seeds the Grow sampling; 0 derives a seed from the current
+	// version, so repeated unseeded grows still differ per epoch.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Validate checks the mutation envelope.
+func (r MutateRequest) Validate() error {
+	if r.SchemaVersion != 0 && r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("api: unsupported schema_version %d (server speaks %d)",
+			r.SchemaVersion, SchemaVersion)
+	}
+	if r.Graph == "" {
+		return fmt.Errorf("api: mutate needs a graph")
+	}
+	if r.Grow < 0 {
+		return fmt.Errorf("api: grow %d must be non-negative", r.Grow)
+	}
+	if len(r.Insert) == 0 && len(r.Delete) == 0 && r.Grow == 0 {
+		return fmt.Errorf("api: empty mutation (want insert, delete or grow)")
+	}
+	for _, e := range append(append([]EdgeSpec(nil), r.Insert...), r.Delete...) {
+		if e.U < 0 || e.V < 0 || e.U > maxNodeID || e.V > maxNodeID {
+			return fmt.Errorf("api: edge {%d,%d} out of node-ID range [0,%d]", e.U, e.V, int64(maxNodeID))
+		}
+	}
+	return nil
+}
+
+// MutateResponse is the body of every /v1/mutate answer.
+type MutateResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Graph         string `json:"graph,omitempty"`
+	// Version is the epoch the batch produced; Inserted and Deleted
+	// count the edges that actually changed the graph.
+	Version  uint64 `json:"version"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	// Nodes and Edges describe the new epoch (before LCC extraction).
+	Nodes int   `json:"nodes"`
+	Edges int64 `json:"edges"`
+	// Hash is the version-stamped content identity subsequent query
+	// fingerprints are keyed by.
+	Hash string `json:"hash,omitempty"`
+	// Evicted counts the cached results this mutation invalidated.
+	Evicted   int    `json:"evicted"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	Error     string `json:"error,omitempty"`
 }
 
 // GraphsResponse is the body of GET /v1/graphs.

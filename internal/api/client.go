@@ -72,6 +72,43 @@ func (c *Client) Query(ctx context.Context, req Request) (*Response, error) {
 	return &resp, nil
 }
 
+// Mutate posts req to /v1/mutate and decodes the response, with the
+// same error contract as Query: a server-reported failure comes back
+// as both a decodable response and an error.
+func (c *Client) Mutate(ctx context.Context, req MutateRequest) (*MutateResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("api: marshal mutate request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/mutate", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("api: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.HTTPClient.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("api: %w", err)
+	}
+	defer hres.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hres.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("api: read mutate response: %w", err)
+	}
+	var resp MutateResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("api: status %d, undecodable body: %w", hres.StatusCode, err)
+	}
+	if hres.StatusCode != http.StatusOK {
+		msg := resp.Error
+		if msg == "" {
+			msg = http.StatusText(hres.StatusCode)
+		}
+		return &resp, fmt.Errorf("api: %s: %s", hres.Status, msg)
+	}
+	return &resp, nil
+}
+
 // Graphs fetches the daemon's registry listing.
 func (c *Client) Graphs(ctx context.Context) (*GraphsResponse, error) {
 	var out GraphsResponse

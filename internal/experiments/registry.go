@@ -296,6 +296,28 @@ func init() {
 					render: func() string { return RenderWhanauLookup(rows) },
 					csv:    func(w io.Writer) error { return WhanauLookupCSV(w, rows) }}, nil
 			}},
+		{ID: "E1", Name: "evolve-growth",
+			Title: "Mixing-rate evolution under edge accretion: warm vs cold spectral starts",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := EvolveGrowthContext(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderEvolveGrowth(rows) },
+					csv:    func(w io.Writer) error { return EvolveGrowthCSV(w, rows) }}, nil
+			}},
+		{ID: "E2", Name: "evolve-attack",
+			Title: "Mixing-time degradation as Sybil attack edges accrete",
+			Run: func(ctx context.Context, cfg Config, obs runner.Observer) (runner.Result, error) {
+				rows, err := EvolveAttackContext(ctx, cfg, obs)
+				if err != nil {
+					return nil, err
+				}
+				return &artifact{rows: rows,
+					render: func() string { return RenderEvolveAttack(rows) },
+					csv:    func(w io.Writer) error { return EvolveAttackCSV(w, rows) }}, nil
+			}},
 	}
 	for _, d := range reg {
 		d.Run = stampArtifact(d)

@@ -21,6 +21,7 @@ var designIDs = map[string]string{
 	"X1": "attack", "X2": "conductance", "X3": "whanau", "X4": "trust",
 	"X5": "detection", "X6": "defenses", "X7": "whanau-lookup",
 	"D1": "distmix", "D2": "distmix-tradeoff",
+	"E1": "evolve-growth", "E2": "evolve-attack",
 }
 
 func TestRegistryCompleteness(t *testing.T) {

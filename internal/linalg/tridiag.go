@@ -96,3 +96,88 @@ func (t *Tridiag) Extremes(tol float64) (min, max float64) {
 	k := t.Dim()
 	return t.Eigenvalue(0, tol), t.Eigenvalue(k-1, tol)
 }
+
+// EigenvectorFor returns a unit eigenvector for the eigenvalue of the
+// tridiagonal closest to theta, by inverse iteration: each step solves
+// the nearly singular system (T − θI)y = x, which amplifies the
+// wanted eigenvector component by 1/dist(θ, λ) relative to every
+// other. With theta accurate to working precision (the bisection
+// output), a handful of O(k) solves converge; Lanczos combines the
+// result through its stored basis to recover the Ritz vector.
+func (t *Tridiag) EigenvectorFor(theta float64) []float64 {
+	k := t.Dim()
+	x := make([]float64, k)
+	for i := range x {
+		x[i] = 1 / math.Sqrt(float64(k))
+	}
+	y := make([]float64, k)
+	for iter := 0; iter < 4; iter++ {
+		t.solveShifted(theta, x, y)
+		norm := Norm2(y)
+		if norm == 0 || math.IsInf(norm, 0) || math.IsNaN(norm) {
+			break
+		}
+		Scale(y, 1/norm)
+		aligned := math.Abs(math.Abs(Dot(x, y))-1) < 1e-13
+		copy(x, y)
+		if aligned {
+			break
+		}
+	}
+	return x
+}
+
+// solveShifted solves (T − θI)y = b by Gaussian elimination with
+// partial pivoting on the tridiagonal band (fill-in is one extra
+// superdiagonal). Exact zero pivots — θ hitting an eigenvalue of a
+// leading principal submatrix — are perturbed, which is the standard
+// inverse-iteration safeguard: the solution direction is what matters,
+// not its magnitude.
+func (t *Tridiag) solveShifted(theta float64, b, y []float64) {
+	k := t.Dim()
+	// Band storage: d = main diagonal, e = first superdiagonal,
+	// f = second superdiagonal (created by row swaps).
+	d := make([]float64, k)
+	e := make([]float64, k)
+	f := make([]float64, k)
+	copy(y, b)
+	for i := 0; i < k; i++ {
+		d[i] = t.Diag[i] - theta
+		if i < k-1 {
+			e[i] = t.Off[i]
+		}
+	}
+	sub := make([]float64, k) // subdiagonal entries still to eliminate
+	for i := 0; i < k-1; i++ {
+		sub[i+1] = t.Off[i]
+	}
+	for i := 0; i < k-1; i++ {
+		if math.Abs(sub[i+1]) > math.Abs(d[i]) {
+			d[i], sub[i+1] = sub[i+1], d[i]
+			e[i], d[i+1] = d[i+1], e[i]
+			f[i], e[i+1] = e[i+1], f[i]
+			y[i], y[i+1] = y[i+1], y[i]
+		}
+		if d[i] == 0 {
+			d[i] = 1e-300
+		}
+		m := sub[i+1] / d[i]
+		d[i+1] -= m * e[i]
+		e[i+1] -= m * f[i]
+		y[i+1] -= m * y[i]
+	}
+	if d[k-1] == 0 {
+		d[k-1] = 1e-300
+	}
+	// Back substitution over the three stored bands.
+	for i := k - 1; i >= 0; i-- {
+		s := y[i]
+		if i+1 < k {
+			s -= e[i] * y[i+1]
+		}
+		if i+2 < k {
+			s -= f[i] * y[i+2]
+		}
+		y[i] = s / d[i]
+	}
+}

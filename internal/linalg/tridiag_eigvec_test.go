@@ -1,0 +1,83 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// tridiagMatvec computes y = T·x for the test assertions.
+func tridiagMatvec(t *Tridiag, x []float64) []float64 {
+	k := t.Dim()
+	y := make([]float64, k)
+	for i := 0; i < k; i++ {
+		y[i] = t.Diag[i] * x[i]
+		if i > 0 {
+			y[i] += t.Off[i-1] * x[i-1]
+		}
+		if i < k-1 {
+			y[i] += t.Off[i] * x[i+1]
+		}
+	}
+	return y
+}
+
+// TestEigenvectorForKnownSpectrum uses the discrete Laplacian
+// tridiagonal (diag 2, off −1), whose eigenpairs are known in closed
+// form: λ_j = 2 − 2cos(jπ/(k+1)), v_j[i] ∝ sin(ij π/(k+1)).
+func TestEigenvectorForKnownSpectrum(t *testing.T) {
+	const k = 12
+	tri := &Tridiag{Diag: make([]float64, k), Off: make([]float64, k-1)}
+	for i := 0; i < k; i++ {
+		tri.Diag[i] = 2
+	}
+	for i := 0; i < k-1; i++ {
+		tri.Off[i] = -1
+	}
+	for _, j := range []int{1, 2, k} { // smallest, second, largest
+		lambda := 2 - 2*math.Cos(float64(j)*math.Pi/float64(k+1))
+		v := tri.EigenvectorFor(lambda)
+		if n := Norm2(v); math.Abs(n-1) > 1e-12 {
+			t.Fatalf("j=%d: eigenvector norm %v, want 1", j, n)
+		}
+		tv := tridiagMatvec(tri, v)
+		var res float64
+		for i := range tv {
+			d := tv[i] - lambda*v[i]
+			res += d * d
+		}
+		if res = math.Sqrt(res); res > 1e-10 {
+			t.Fatalf("j=%d: residual ‖Tv − λv‖ = %g", j, res)
+		}
+	}
+}
+
+// TestEigenvectorForAgainstBisection pairs EigenvectorFor with the
+// Sturm-bisection eigenvalues on a generic tridiagonal: every
+// returned vector must satisfy its eigenpair residual.
+func TestEigenvectorForAgainstBisection(t *testing.T) {
+	tri := &Tridiag{
+		Diag: []float64{0.9, 0.2, -0.4, 0.7, 0.1, -0.8, 0.3},
+		Off:  []float64{0.5, 0.3, 0.6, 0.2, 0.4, 0.1},
+	}
+	for i := 0; i < tri.Dim(); i++ {
+		lambda := tri.Eigenvalue(i, 1e-14)
+		v := tri.EigenvectorFor(lambda)
+		tv := tridiagMatvec(tri, v)
+		var res float64
+		for j := range tv {
+			d := tv[j] - lambda*v[j]
+			res += d * d
+		}
+		if res = math.Sqrt(res); res > 1e-9 {
+			t.Fatalf("eigenpair %d: residual %g", i, res)
+		}
+	}
+}
+
+func TestEigenvectorForDimOne(t *testing.T) {
+	tri := &Tridiag{Diag: []float64{0.5}}
+	v := tri.EigenvectorFor(0.5)
+	if len(v) != 1 || math.Abs(math.Abs(v[0])-1) > 1e-15 {
+		t.Fatalf("k=1 eigenvector = %v", v)
+	}
+}

@@ -43,6 +43,7 @@ type cache struct {
 // completed (and cacheable) afterwards iff err is nil.
 type entry struct {
 	fp      string
+	tag     string // graph name for targeted eviction ("" = untagged)
 	done    chan struct{}
 	cancel  context.CancelFunc
 	waiters int // guarded by cache.mu; meaningful only in flight
@@ -73,8 +74,9 @@ func (c *cache) len() int {
 // do answers fingerprint fp: from the completed cache, by joining an
 // in-flight identical solve, or by spawning solve. The returned
 // outcome says which. ctx governs only this caller's wait; the solve
-// owns its own lifecycle.
-func (c *cache) do(ctx context.Context, fp string, solve func(context.Context) (*api.Response, error)) (*api.Response, string, error) {
+// owns its own lifecycle. tag names the graph the result depends on
+// ("" for graph-independent queries) — evictTag invalidates by it.
+func (c *cache) do(ctx context.Context, fp, tag string, solve func(context.Context) (*api.Response, error)) (*api.Response, string, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[fp]; ok {
 		select {
@@ -96,7 +98,7 @@ func (c *cache) do(ctx context.Context, fp string, solve func(context.Context) (
 	if c.timeout > 0 {
 		sctx, cancel = context.WithTimeout(c.base, c.timeout)
 	}
-	e := &entry{fp: fp, done: make(chan struct{}), cancel: cancel, waiters: 1}
+	e := &entry{fp: fp, tag: tag, done: make(chan struct{}), cancel: cancel, waiters: 1}
 	c.entries[fp] = e
 	c.mu.Unlock()
 	c.col.Add(telemetry.ServiceCacheMisses, 1)
@@ -132,6 +134,47 @@ func (c *cache) run(sctx context.Context, e *entry, solve func(context.Context) 
 		}
 	}
 	c.mu.Unlock()
+}
+
+// evictTag removes every completed entry tagged with the graph name —
+// the cache half of the mutation rule: a bumped version changes the
+// fingerprint of all future queries, and evictTag reclaims the memory
+// the unreachable old-version results occupy. In-flight solves are
+// left to finish (their results are keyed by the old fingerprint, so
+// no post-mutation query can ever receive them); whatever they cache
+// is swept by the next eviction or FIFO pressure. Returns the number
+// of entries evicted.
+func (c *cache) evictTag(tag string) int {
+	if tag == "" {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for fp, e := range c.entries {
+		if e.tag != tag {
+			continue
+		}
+		select {
+		case <-e.done:
+			if e.err == nil {
+				delete(c.entries, fp)
+				n++
+			}
+		default: // in flight: leave it to complete against its old key
+		}
+	}
+	if n > 0 {
+		keep := c.order[:0]
+		for _, fp := range c.order {
+			if _, ok := c.entries[fp]; ok {
+				keep = append(keep, fp)
+			}
+		}
+		c.order = keep
+		c.col.Add(telemetry.ServiceEvictions, int64(n))
+	}
+	return n
 }
 
 // wait blocks until the entry completes or the caller's ctx dies. A

@@ -13,8 +13,10 @@ import (
 
 	"mixtime/internal/api"
 	"mixtime/internal/datasets"
+	"mixtime/internal/evolve"
 	"mixtime/internal/graph"
 	"mixtime/internal/graphio"
+	"mixtime/internal/telemetry"
 )
 
 // Entry is one graph the daemon serves queries against: the measured
@@ -27,21 +29,81 @@ type Entry struct {
 	// Hash is the sha256 content identity of the component — the graph
 	// part of every query fingerprint, so the cache key survives
 	// daemon restarts and renames but never aliases distinct graphs.
+	// Mutable entries stamp views with "<sha256>@v<version>" instead:
+	// the registration hash plus the monotone mutation epoch is a
+	// content identity too (versions are never reused), without an
+	// O(m) rehash per mutation.
 	Hash string
 	// Origin records provenance: "file:<path>" or
 	// "dataset:<name>:<scale>".
 	Origin string
+
+	// mut, when non-nil, makes this a live entry: queries resolve
+	// through View to a frozen per-epoch snapshot and mutations land
+	// via MakeMutable's wrapper. baseHash keeps the registration-time
+	// content hash the version stamp decorates.
+	mut      *evolve.MutableGraph
+	baseHash string
+
+	// viewMu guards the one-deep view cache: repeated queries against
+	// an unchanged epoch reuse the same LCC extraction.
+	viewMu  sync.Mutex
+	viewVer evolve.Version
+	view    *Entry
+}
+
+// Mutable returns the live graph behind the entry, or nil for the
+// (default) immutable entries.
+func (e *Entry) Mutable() *evolve.MutableGraph { return e.mut }
+
+// View resolves the entry to the immutable snapshot queries must run
+// against. For static entries that is the entry itself; for mutable
+// ones it is a frozen per-epoch Entry whose Graph is the current
+// epoch's largest component and whose Hash carries the version stamp —
+// the rule that makes every cached result evict on mutation: a new
+// epoch means a new hash, a new hash means a new fingerprint, and the
+// old fingerprints' entries are evicted eagerly by the mutation
+// handler. The view is cached one-deep per entry, so an unchanged
+// epoch pays the LCC extraction once, not per query.
+func (e *Entry) View() *Entry {
+	if e.mut == nil {
+		return e
+	}
+	g, ver := e.mut.Snapshot()
+	e.viewMu.Lock()
+	defer e.viewMu.Unlock()
+	if e.view != nil && e.viewVer == ver {
+		return e.view
+	}
+	lcc := g
+	if !graph.IsConnected(g) {
+		lcc, _ = graph.LargestComponent(g)
+	}
+	e.view = &Entry{
+		Name:   e.Name,
+		Graph:  lcc,
+		Hash:   fmt.Sprintf("%s@v%d", e.baseHash, ver),
+		Origin: e.Origin,
+	}
+	e.viewVer = ver
+	return e.view
 }
 
 // Info renders the entry for the /v1/graphs listing.
 func (e *Entry) Info() api.GraphInfo {
-	return api.GraphInfo{
-		Name:   e.Name,
-		Nodes:  e.Graph.NumNodes(),
-		Edges:  e.Graph.NumEdges(),
-		Hash:   e.Hash,
-		Origin: e.Origin,
+	v := e.View()
+	info := api.GraphInfo{
+		Name:   v.Name,
+		Nodes:  v.Graph.NumNodes(),
+		Edges:  v.Graph.NumEdges(),
+		Hash:   v.Hash,
+		Origin: v.Origin,
 	}
+	if e.mut != nil {
+		info.Mutable = true
+		info.Version = uint64(e.mut.Version())
+	}
+	return info
 }
 
 // Registry maps names to served graphs. It is populated at daemon
@@ -102,6 +164,26 @@ func (r *Registry) AddDataset(name string, scale float64, seed uint64) (*Entry, 
 	}
 	g := d.Generate(scale, seed)
 	return r.AddGraph(name, fmt.Sprintf("dataset:%s:%v", name, scale), g)
+}
+
+// MakeMutable upgrades a registered entry to a live graph accepting
+// POST /v1/mutate. The registered component becomes epoch 0; col (may
+// be nil) receives the evolve_* churn counters. Like the rest of
+// registry population this belongs to startup — call it before the
+// entry serves queries.
+func (r *Registry) MakeMutable(name string, col *telemetry.Collector) (*Entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown graph %q", name)
+	}
+	if e.mut == nil {
+		e.baseHash = e.Hash
+		e.mut = evolve.NewMutable(e.Graph)
+		e.mut.SetCollector(col)
+	}
+	return e, nil
 }
 
 // LoadDir registers every loadable graph file in dir (MIXG snapshots

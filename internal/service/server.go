@@ -20,12 +20,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mixtime/internal/api"
+	"mixtime/internal/evolve"
+	"mixtime/internal/graph"
 	"mixtime/internal/runner"
 	"mixtime/internal/telemetry"
 )
@@ -92,6 +95,7 @@ func (s *Server) Collector() *telemetry.Collector { return s.col }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/mutate", s.handleMutate)
 	mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -147,9 +151,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Resolve the target before fingerprinting so aliases collapse:
 	// the graph name becomes its content hash, a legacy experiment
-	// name becomes its canonical ID.
+	// name becomes its canonical ID. Mutable graphs resolve through
+	// View() to a frozen per-epoch snapshot, so the fingerprint, the
+	// cache entry and the solve all see exactly one version even if
+	// mutations land mid-request.
 	var entry *Entry
-	var graphHash string
+	var graphHash, tag string
 	if req.Op == api.OpExperiment {
 		id, err := resolveExperiment(req.Experiment)
 		if err != nil {
@@ -163,7 +170,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusNotFound, req, fmt.Errorf("service: unknown graph %q", req.Graph))
 			return
 		}
-		entry, graphHash = e, e.Hash
+		entry = e.View()
+		graphHash, tag = entry.Hash, entry.Name
 	}
 	fp := api.Fingerprint(req, graphHash)
 
@@ -174,7 +182,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	resp, outcome, err := s.cache.do(ctx, fp, func(sctx context.Context) (*api.Response, error) {
+	resp, outcome, err := s.cache.do(ctx, fp, tag, func(sctx context.Context) (*api.Response, error) {
 		// The pool slot is acquired inside the solve so hits and joins
 		// bypass the queue entirely; queueing is charged to the solve's
 		// context, not to any single waiter.
@@ -200,6 +208,94 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	out.CacheHit = outcome == outcomeHit
 	out.ElapsedNS = time.Since(started).Nanoseconds()
 	writeJSON(w, http.StatusOK, &out)
+}
+
+// handleMutate applies one mutation batch to a registered mutable
+// graph: POST /v1/mutate with an api.MutateRequest. On success the
+// graph's version bumps (exactly once per batch — evolve's contract),
+// every cached result for the graph is evicted, and the response
+// carries the new version-stamped hash future fingerprints will use.
+// Static registry entries answer 409: mutability is a registration
+// decision (mixtimed -mutable), not a request-time one.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.mutateFail(w, http.StatusMethodNotAllowed, "", errors.New("service: POST only"))
+		return
+	}
+	if !s.enter() {
+		s.mutateFail(w, http.StatusServiceUnavailable, "", errors.New("service: draining"))
+		return
+	}
+	defer s.inflight.Done()
+	started := time.Now()
+
+	var req api.MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.mutateFail(w, http.StatusBadRequest, req.Graph, fmt.Errorf("service: bad mutate body: %w", err))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.mutateFail(w, http.StatusBadRequest, req.Graph, err)
+		return
+	}
+	e, ok := s.reg.Get(req.Graph)
+	if !ok {
+		s.mutateFail(w, http.StatusNotFound, req.Graph, fmt.Errorf("service: unknown graph %q", req.Graph))
+		return
+	}
+	mut := e.Mutable()
+	if mut == nil {
+		s.mutateFail(w, http.StatusConflict, req.Graph,
+			fmt.Errorf("service: graph %q is not mutable (register it with mixtimed -mutable)", req.Graph))
+		return
+	}
+
+	var batch evolve.Batch
+	for _, es := range req.Insert {
+		batch.Insert = append(batch.Insert, graph.Edge{U: graph.NodeID(es.U), V: graph.NodeID(es.V)})
+	}
+	for _, es := range req.Delete {
+		batch.Delete = append(batch.Delete, graph.Edge{U: graph.NodeID(es.U), V: graph.NodeID(es.V)})
+	}
+	if req.Grow > 0 {
+		g, ver := mut.Snapshot()
+		seed := req.Seed
+		if seed == 0 {
+			seed = uint64(ver) + 1
+		}
+		rng := rand.New(rand.NewPCG(seed, 0x6709))
+		batch.Insert = append(batch.Insert, evolve.GrowRandom(g, req.Grow, rng).Insert...)
+	}
+
+	res, err := mut.Apply(batch)
+	if err != nil {
+		s.mutateFail(w, http.StatusBadRequest, req.Graph, err)
+		return
+	}
+	evicted := s.cache.evictTag(e.Name)
+	s.col.Add(telemetry.ServiceMutations, 1)
+	writeJSON(w, http.StatusOK, &api.MutateResponse{
+		SchemaVersion: api.SchemaVersion,
+		Graph:         e.Name,
+		Version:       uint64(res.Version),
+		Inserted:      res.Inserted,
+		Deleted:       res.Deleted,
+		Nodes:         res.Nodes,
+		Edges:         res.Edges,
+		Hash:          e.View().Hash,
+		Evicted:       evicted,
+		ElapsedNS:     time.Since(started).Nanoseconds(),
+	})
+}
+
+// mutateFail writes a mutation error envelope and counts it.
+func (s *Server) mutateFail(w http.ResponseWriter, status int, name string, err error) {
+	s.col.Add(telemetry.ServiceErrors, 1)
+	writeJSON(w, status, &api.MutateResponse{
+		SchemaVersion: api.SchemaVersion,
+		Graph:         name,
+		Error:         err.Error(),
+	})
 }
 
 // fail writes an error envelope and counts it.

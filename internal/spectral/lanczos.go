@@ -67,10 +67,28 @@ func slemLanczosOp(ctx context.Context, op *Operator, opt Options) (*Estimate, e
 	beta := make([]float64, 0, 16) // beta[i] couples basis[i], basis[i+1]
 
 	q := make([]float64, n)
-	randomUnit(q, rng)
+	warm := len(opt.Start) == n
+	if warm {
+		copy(q, opt.Start)
+		opt.Collector.Add(telemetry.EvolveWarmStarts, 1)
+	} else {
+		randomUnit(q, rng)
+	}
 	op.Deflate(q)
-	if linalg.Normalize(q) == 0 {
-		return nil, errors.New("spectral: degenerate start vector")
+	if linalg.Normalize(q) < 1e-12 {
+		// A degenerate warm start (deflation residue parallel to v₁)
+		// falls back to the cold random start; only a degenerate random
+		// vector is a hard error. A deflated random unit vector has
+		// norm ≈ 1, so the cold path never takes this branch.
+		if !warm {
+			return nil, errors.New("spectral: degenerate start vector")
+		}
+		warm = false
+		randomUnit(q, rng)
+		op.Deflate(q)
+		if linalg.Normalize(q) == 0 {
+			return nil, errors.New("spectral: degenerate start vector")
+		}
 	}
 	basis = append(basis, append([]float64(nil), q...))
 
@@ -129,12 +147,28 @@ func slemLanczosOp(ctx context.Context, op *Operator, opt Options) (*Estimate, e
 
 	tri := &linalg.Tridiag{Diag: alpha, Off: beta[:len(alpha)-1]}
 	lambdaN, lambda2 := tri.Extremes(opt.Tol / 10)
+	// Ritz vector for λ₂: the tridiagonal eigenvector for the top Ritz
+	// value, combined through the stored Krylov basis. This is what the
+	// evolving-graph tracker feeds back as the next epoch's Start.
+	var vec2 []float64
+	if y := tri.EigenvectorFor(lambda2); len(y) <= len(basis) {
+		vec2 = make([]float64, n)
+		for i, c := range y {
+			linalg.Axpy(c, basis[i], vec2)
+		}
+		if linalg.Normalize(vec2) == 0 {
+			vec2 = nil
+		}
+	}
 	return &Estimate{
-		Mu:         math.Max(math.Abs(lambda2), math.Abs(lambdaN)),
-		Lambda2:    lambda2,
-		LambdaN:    lambdaN,
-		Iterations: iters,
-		Converged:  converged,
+		Mu:          math.Max(math.Abs(lambda2), math.Abs(lambdaN)),
+		Lambda2:     lambda2,
+		LambdaN:     lambdaN,
+		Iterations:  iters,
+		Iters2:      iters,
+		Converged:   converged,
+		WarmStarted: warm,
+		Vector2:     vec2,
 	}, nil
 }
 

@@ -21,8 +21,16 @@ type Estimate struct {
 	Lambda2, LambdaN float64
 	// Iterations is the number of operator applications performed.
 	Iterations int
+	// Iters2 and ItersN split Iterations between the λ₂ and λ_n power
+	// phases — the per-phase costs the warm-start comparison in E1
+	// reports. Lanczos estimates both extremes from one Krylov space,
+	// so there Iters2 carries the step count and ItersN is zero.
+	Iters2, ItersN int
 	// Converged reports whether the requested tolerance was met.
 	Converged bool
+	// WarmStarted reports whether the λ₂ phase was seeded from
+	// Options.Start rather than a random unit vector.
+	WarmStarted bool
 	// Vector2 is the (unit, S-basis) eigenvector estimate for λ₂ when
 	// the method produces one; it drives the spectral sweep cut.
 	Vector2 []float64
@@ -48,6 +56,19 @@ type Options struct {
 	// Counting happens at call granularity, so estimates are
 	// byte-identical with or without a collector.
 	Collector *telemetry.Collector
+	// Start, when its length equals the operator dimension, warm-starts
+	// the λ₂ estimation from this vector instead of the seeded random
+	// unit vector: power iteration begins its λ₂ phase there, and
+	// Lanczos uses it as the first Krylov vector. The intended seed is
+	// the previous epoch's Estimate.Vector2 on an evolving graph, where
+	// the eigenvector drifts slowly and most of the iteration budget
+	// would be spent rediscovering it. The vector is copied, deflated
+	// against v₁ and normalized; a wrong-length or numerically
+	// degenerate Start silently falls back to the cold random start, so
+	// results are correct (if slower) whenever the warm hint is stale.
+	// The λ_n phase always cold-starts — the λ₂ vector carries no
+	// information about the other end of the spectrum.
+	Start []float64
 }
 
 func (o Options) withDefaults(defaultIter int) Options {
@@ -81,15 +102,28 @@ func randomUnit(x []float64, rng *rand.Rand) {
 // with shift=-1, scale=-2 (i.e. (I−S)/2) it is (1−λ_n)/2.
 // The iteration checks ctx once per operator application and returns
 // the wrapped ctx.Err() when cancelled.
-func powerExtreme(ctx context.Context, op *Operator, shift, scale float64, opt Options) (val float64, vec []float64, iters int, ok bool, err error) {
+func powerExtreme(ctx context.Context, op *Operator, shift, scale float64, start []float64, opt Options) (val float64, vec []float64, iters int, ok bool, err error) {
 	n := op.Dim()
 	rng := rand.New(rand.NewPCG(opt.Seed, 0x51e3))
 	x := make([]float64, n)
 	sx := make([]float64, n)
 	scratch := make([]float64, n)
-	randomUnit(x, rng)
+	if len(start) == n {
+		copy(x, start)
+	} else {
+		randomUnit(x, rng)
+	}
 	op.Deflate(x)
-	linalg.Normalize(x)
+	if linalg.Normalize(x) < 1e-12 {
+		// A degenerate warm start (e.g. a stale vector collapsing onto
+		// v₁, whose deflation residue is rounding noise still parallel
+		// to v₁) must not wedge the solve: fall back to the cold start.
+		// A deflated random unit vector has norm ≈ 1, so the cold path
+		// never takes this branch and stays byte-identical.
+		randomUnit(x, rng)
+		op.Deflate(x)
+		linalg.Normalize(x)
+	}
 
 	// One add per solve, whatever exit path the iteration takes.
 	defer func() { opt.Collector.Add(telemetry.PowerIterations, int64(iters)) }()
@@ -158,7 +192,11 @@ func slemPowerOp(ctx context.Context, op *Operator, opt Options) (*Estimate, err
 	// λ₂ from (S+I)/2; tolerance halves because λ₂ = 2ρ − 1.
 	hiOpt := opt
 	hiOpt.Tol = opt.Tol / 2
-	rhoHi, vec2, it1, ok1, err := powerExtreme(ctx, op, +1, 2, hiOpt)
+	warm := len(opt.Start) == op.Dim()
+	if warm {
+		opt.Collector.Add(telemetry.EvolveWarmStarts, 1)
+	}
+	rhoHi, vec2, it1, ok1, err := powerExtreme(ctx, op, +1, 2, opt.Start, hiOpt)
 	if err != nil {
 		return nil, err
 	}
@@ -169,18 +207,21 @@ func slemPowerOp(ctx context.Context, op *Operator, opt Options) (*Estimate, err
 	loOpt := opt
 	loOpt.Tol = opt.Tol / 2
 	loOpt.Seed = opt.Seed + 1
-	rhoLo, _, it2, ok2, err := powerExtreme(ctx, op, -1, -2, loOpt)
+	rhoLo, _, it2, ok2, err := powerExtreme(ctx, op, -1, -2, nil, loOpt)
 	if err != nil {
 		return nil, err
 	}
 	lambdaN := 1 - 2*rhoLo
 
 	return &Estimate{
-		Mu:         math.Max(math.Abs(lambda2), math.Abs(lambdaN)),
-		Lambda2:    lambda2,
-		LambdaN:    lambdaN,
-		Iterations: it1 + it2,
-		Converged:  ok1 && ok2,
-		Vector2:    vec2,
+		Mu:          math.Max(math.Abs(lambda2), math.Abs(lambdaN)),
+		Lambda2:     lambda2,
+		LambdaN:     lambdaN,
+		Iterations:  it1 + it2,
+		Iters2:      it1,
+		ItersN:      it2,
+		Converged:   ok1 && ok2,
+		WarmStarted: warm,
+		Vector2:     vec2,
 	}, nil
 }

@@ -113,6 +113,30 @@ const (
 	// ServiceErrors counts queries that ended in an error (validation,
 	// solve failure, or cancellation).
 	ServiceErrors
+	// ServiceMutations counts accepted /v1/mutate requests — each one
+	// bumps a mutable graph's version and invalidates its cached
+	// results.
+	ServiceMutations
+	// ServiceEvictions counts completed cache entries dropped because
+	// the graph they were computed on mutated underneath them.
+	ServiceEvictions
+
+	// The evolve_* counters below are incremented by the evolving-graph
+	// subsystem (internal/evolve): epoch rebuilds and the edge churn
+	// that caused them.
+
+	// EvolveEpochs counts mutation batches applied to mutable graphs
+	// (each one is a CSR epoch rebuild and a version bump).
+	EvolveEpochs
+	// EvolveEdgesInserted counts edges actually added by mutation
+	// batches (duplicates and self-loops excluded).
+	EvolveEdgesInserted
+	// EvolveEdgesDeleted counts edges actually removed by mutation
+	// batches (absent edges excluded).
+	EvolveEdgesDeleted
+	// EvolveWarmStarts counts spectral solves seeded from a previous
+	// epoch's eigenvector instead of a random unit vector.
+	EvolveWarmStarts
 
 	numCounters
 )
@@ -140,6 +164,12 @@ var counterNames = [numCounters]string{
 	"service_joins",
 	"service_solves",
 	"service_errors",
+	"service_mutations",
+	"service_evictions",
+	"evolve_epochs",
+	"evolve_edges_inserted",
+	"evolve_edges_deleted",
+	"evolve_warm_starts",
 }
 
 // String returns the counter's stable snake_case key.

@@ -55,7 +55,7 @@ echo "== fault-tolerance race gate =="
 # are the most concurrency-sensitive code in the repo; re-run them
 # uncached so a cached pass can never mask a freshly introduced race.
 go test -race -count=1 ./internal/runner ./internal/telemetry ./internal/checkpoint \
-	./internal/api ./internal/service ./internal/distmix
+	./internal/api ./internal/service ./internal/distmix ./internal/evolve
 
 echo "== graphio fuzz corpus =="
 # Execute the seed corpus of every fuzz target (no fuzzing engine —
@@ -78,7 +78,7 @@ cleanup_smoke() {
 trap cleanup_smoke EXIT
 go build -o "$smoke_dir/mixtimed" ./cmd/mixtimed
 go build -o "$smoke_dir/mixload" ./cmd/mixload
-"$smoke_dir/mixtimed" -datasets physics-1 -scale 0.002 \
+"$smoke_dir/mixtimed" -datasets physics-1 -scale 0.002 -mutable physics-1 \
 	-addr 127.0.0.1:0 -addr-file "$smoke_dir/addr" >"$smoke_dir/daemon.log" 2>&1 &
 smoke_pid=$!
 tries=0
@@ -134,6 +134,44 @@ awk -v est="$dist_tau" -v exact="$sampled_t" 'BEGIN {
 	}
 	printf "distmix tau %d vs sampled %d (tolerance %d) ok\n", est, exact, tol
 }'
+# Live-graph mutation smoke: a slem query is solved then cached; a
+# POST /v1/mutate bumps the graph's version and must evict that cached
+# result, so the repeated identical request misses under a new
+# version-stamped fingerprint and costs exactly one new solve. This
+# runs after the distmix cross-check — mutating physics-1 earlier
+# would move the mixing time out of the §11 tolerance band.
+mut_q='{"op":"slem","graph":"physics-1","params":{"seed":9}}'
+fp_a=$(curl -s -X POST "http://$addr/v1/query" -d "$mut_q" |
+	grep -o '"fingerprint": *"[^"]*"' | grep -o '[0-9a-f@v]*"$' | tr -d '"')
+hit=$(curl -s -X POST "http://$addr/v1/query" -d "$mut_q" | grep -c '"cache_hit": *true' || true)
+if [ -z "$fp_a" ] || [ "$hit" != "1" ]; then
+	echo "mutation smoke: pre-mutation query did not cache (fp=$fp_a hit=$hit)" >&2
+	exit 1
+fi
+solves_before=$(curl -s "http://$addr/stats" | grep -o '"service_solves": *[0-9]*' | grep -o '[0-9]*$')
+mut_json=$(curl -s -X POST "http://$addr/v1/mutate" -d '{"graph":"physics-1","grow":3}')
+evicted=$(printf '%s' "$mut_json" | grep -o '"evicted": *[0-9]*' | grep -o '[0-9]*$')
+if [ "${evicted:-0}" -lt 1 ]; then
+	echo "mutation smoke: mutation evicted ${evicted:-0} cached results, want >= 1" >&2
+	echo "$mut_json" >&2
+	exit 1
+fi
+post_json=$(curl -s -X POST "http://$addr/v1/query" -d "$mut_q")
+fp_b=$(printf '%s' "$post_json" | grep -o '"fingerprint": *"[^"]*"' | grep -o '[0-9a-f@v]*"$' | tr -d '"')
+if [ "$fp_a" = "$fp_b" ] || [ -z "$fp_b" ]; then
+	echo "mutation smoke: fingerprint did not change across the mutation ($fp_a vs $fp_b)" >&2
+	exit 1
+fi
+if printf '%s' "$post_json" | grep -q '"cache_hit": *true'; then
+	echo "mutation smoke: post-mutation query served a stale cached result" >&2
+	exit 1
+fi
+solves_after=$(curl -s "http://$addr/stats" | grep -o '"service_solves": *[0-9]*' | grep -o '[0-9]*$')
+if [ "$((solves_after - solves_before))" != "1" ]; then
+	echo "mutation smoke: post-mutation repeat cost $((solves_after - solves_before)) solves, want exactly 1" >&2
+	exit 1
+fi
+echo "mutation smoke: evicted $evicted, re-solved once under a new fingerprint"
 kill -INT "$smoke_pid"
 wait "$smoke_pid" || { echo "mixtimed did not shut down cleanly" >&2; exit 1; }
 smoke_pid=""
