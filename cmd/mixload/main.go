@@ -24,9 +24,17 @@
 //	mixload -addr $A -op cdf -graph dblp -n 500 -c 16
 //	mixload -addr $A -op bounds -distinct 20 -n 400
 //	mixload -addr $A -graph physics-1 -n 300 -mutate-every 50
+//	mixload -addr $A -n 500 -c 32 -retries 8 -hedge 50ms
 //
-// Exit status is non-zero if any request failed — a zero-error burst
-// is the e2e smoke criterion scripts/check.sh enforces.
+// With -retries the client re-issues shed (429) and transient
+// failures under exponential backoff honoring Retry-After; with
+// -hedge it duplicates slow queries and takes the first answer. The
+// summary then reports shed/retried/hedged counts separately from
+// hard errors: overload protection kicking in is not a failure.
+//
+// Exit status is non-zero if any request failed for good (after
+// whatever retries were allowed) — a zero-hard-error burst is the e2e
+// smoke criterion scripts/check.sh enforces.
 package main
 
 import (
@@ -62,6 +70,8 @@ func run() int {
 	distRounds := flag.Int("distrounds", api.DefaultDistRounds, "superstep budget for distmix requests")
 	mutateEvery := flag.Int("mutate-every", 0, "issue one POST /v1/mutate per this many queries (0 = never); the target graph must be served -mutable")
 	mutateGrow := flag.Int("mutate-grow", 4, "random absent edges each mutation inserts (the grow knob of the mutate request)")
+	retries := flag.Int("retries", 0, "max retries per request (0 = fail on first error); retries back off exponentially and honor Retry-After")
+	hedge := flag.Duration("hedge", 0, "hedge delay: duplicate a query that has not answered within this long and take the first response (0 = off)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
 	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the daemon to become healthy")
 	flag.Parse()
@@ -87,6 +97,8 @@ func run() int {
 	defer stop()
 
 	client := api.NewClient(*addr)
+	client.MaxRetries = *retries
+	client.HedgeDelay = *hedge
 	waitCtx, cancel := context.WithTimeout(ctx, *wait)
 	err := client.WaitReady(waitCtx, 0)
 	cancel()
@@ -213,6 +225,16 @@ func run() int {
 	if *mutateEvery > 0 {
 		fmt.Printf("  mutations:   %d applied, %d cached results evicted\n",
 			mutations.Load(), evicted.Load())
+	}
+	// Shed responses and retries are the daemon protecting itself, not
+	// request failures: they are reported apart from the hard errors
+	// that drive the exit status. A shed request that exhausts its
+	// retries does land in the error count — dropping work silently is
+	// exactly what this tool exists to catch.
+	m := client.Metrics()
+	if *retries > 0 || *hedge > 0 || m.Sheds > 0 {
+		fmt.Printf("  resilience:  %d shed, %d retried, %d hedged (%d hedge wins)\n",
+			m.Sheds, m.Retries, m.Hedges, m.HedgeWins)
 	}
 
 	if errCount.Load() > 0 || ctx.Err() != nil {

@@ -50,6 +50,7 @@ import (
 	"mixtime/internal/api"
 	"mixtime/internal/cliutil"
 	"mixtime/internal/datasets"
+	"mixtime/internal/faults"
 	"mixtime/internal/service"
 	"mixtime/internal/telemetry"
 )
@@ -66,8 +67,12 @@ func run() int {
 	seed := flag.Uint64("seed", api.DefaultSeed, "seed for generated datasets")
 	mutable := flag.String("mutable", "", `comma-separated registered graph names to serve as live, mutable graphs accepting POST /v1/mutate ("all" for every one)`)
 	pool := flag.Int("pool", 0, "max concurrent solves (0 = GOMAXPROCS); hits and joins bypass the pool")
+	maxQueue := flag.Int("max-queue", 0, "max solves waiting for a pool slot before overflow is shed with 429 (0 = 8x pool, negative = no queue)")
+	maxQueueWait := flag.Duration("max-queue-wait", 0, "max time a queued solve waits for a pool slot before being shed (0 = 1s)")
 	cacheMax := flag.Int("cache-max", 0, "completed results kept before FIFO eviction (0 = default)")
+	cacheDir := flag.String("cache-dir", "", "persist completed results here (write-through) and warm-load them on startup")
 	solveTimeout := flag.Duration("solve-timeout", 0, "hard cap on any single solve (0 = none)")
+	inject := flag.String("inject", "", `arm deterministic fault injection, e.g. "seed=7,panic=1:4,latency=40ms" (see internal/faults)`)
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
 
@@ -139,12 +144,36 @@ func run() int {
 	base, cancelSolves := context.WithCancel(context.Background())
 	defer cancelSolves()
 
-	srv := service.New(base, reg, service.Config{
+	var injector *faults.Injector
+	if *inject != "" {
+		in, err := faults.Parse(*inject)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mixtimed:", err)
+			return 2
+		}
+		injector = in
+		fmt.Fprintf(os.Stderr, "mixtimed: fault injection armed (%s)\n", injector)
+	}
+
+	srv, err := service.New(base, reg, service.Config{
 		PoolSize:     *pool,
+		MaxQueue:     *maxQueue,
+		MaxQueueWait: *maxQueueWait,
 		CacheMax:     *cacheMax,
+		CacheDir:     *cacheDir,
 		SolveTimeout: *solveTimeout,
+		Injector:     injector,
 		Collector:    col,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixtimed:", err)
+		return 1
+	}
+	if *cacheDir != "" {
+		if n := col.Snapshot().Counters["service_cache_loaded"]; n > 0 {
+			fmt.Fprintf(os.Stderr, "mixtimed: warm-loaded %d cached result(s) from %s\n", n, *cacheDir)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

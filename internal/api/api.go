@@ -386,6 +386,9 @@ type StatsResponse struct {
 	Pool          int   `json:"pool"`
 	Graphs        int   `json:"graphs"`
 	CacheEntries  int   `json:"cache_entries"`
+	// QueueDepth is the instantaneous number of solves waiting for a
+	// pool slot (the admission-control wait-queue, DESIGN.md §14).
+	QueueDepth int `json:"queue_depth"`
 	// Telemetry carries the full counter snapshot; the service_*
 	// counters (requests, cache hits/misses, singleflight joins,
 	// solves, errors) live beside the kernel counters the solves

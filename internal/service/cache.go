@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"log"
 	"sync"
 	"time"
 
@@ -28,11 +29,18 @@ const (
 // refcounted: when the last one abandons an in-flight solve, the
 // solve itself is cancelled and the entry forgotten, so nobody pays
 // for work nobody wants.
+//
+// With a diskStore attached, completed results are also written
+// through to disk and reloaded at the next startup (warmLoad), so the
+// cache survives a crash: eviction — FIFO or mutation-triggered —
+// removes the persisted file along with the memory entry.
 type cache struct {
 	base    context.Context // server lifecycle: solves die with the daemon
 	timeout time.Duration   // per-solve cap (0 = none)
 	col     *telemetry.Collector
 	max     int // completed entries kept; oldest evicted first
+
+	store *diskStore // optional write-through persistence (nil = memory only)
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -44,6 +52,7 @@ type cache struct {
 type entry struct {
 	fp      string
 	tag     string // graph name for targeted eviction ("" = untagged)
+	hash    string // graph content identity for persistence validation
 	done    chan struct{}
 	cancel  context.CancelFunc
 	waiters int // guarded by cache.mu; meaningful only in flight
@@ -64,6 +73,52 @@ func newCache(base context.Context, timeout time.Duration, max int, col *telemet
 	}
 }
 
+// attachStore enables write-through persistence. Call before the
+// cache serves requests (it is a construction-time decision).
+func (c *cache) attachStore(s *diskStore) { c.store = s }
+
+// warmLoad populates the cache from the attached store: every
+// persisted entry keep approves becomes a completed in-memory entry,
+// oldest first so FIFO eviction order survives the restart. Entries
+// beyond the cache bound are dropped from disk rather than loaded.
+// Returns the number of entries loaded.
+func (c *cache) warmLoad(keep func(tag, hash string) bool) (int, error) {
+	if c.store == nil {
+		return 0, nil
+	}
+	list, err := c.store.load(keep)
+	if err != nil {
+		return 0, err
+	}
+	if len(list) > c.max {
+		for _, pe := range list[:len(list)-c.max] {
+			c.store.remove(pe.Fingerprint)
+		}
+		list = list[len(list)-c.max:]
+	}
+	done := make(chan struct{})
+	close(done)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, pe := range list {
+		if _, exists := c.entries[pe.Fingerprint]; exists {
+			continue
+		}
+		c.entries[pe.Fingerprint] = &entry{
+			fp:     pe.Fingerprint,
+			tag:    pe.Tag,
+			hash:   pe.GraphHash,
+			done:   done,
+			cancel: func() {},
+			resp:   pe.Response,
+		}
+		c.order = append(c.order, pe.Fingerprint)
+		n++
+	}
+	return n, nil
+}
+
 // len returns the number of live entries (completed + in flight).
 func (c *cache) len() int {
 	c.mu.Lock()
@@ -75,8 +130,10 @@ func (c *cache) len() int {
 // in-flight identical solve, or by spawning solve. The returned
 // outcome says which. ctx governs only this caller's wait; the solve
 // owns its own lifecycle. tag names the graph the result depends on
-// ("" for graph-independent queries) — evictTag invalidates by it.
-func (c *cache) do(ctx context.Context, fp, tag string, solve func(context.Context) (*api.Response, error)) (*api.Response, string, error) {
+// ("" for graph-independent queries) — evictTag invalidates by it —
+// and hash is the graph's content identity, recorded so persisted
+// entries can be validated against the registry on reload.
+func (c *cache) do(ctx context.Context, fp, tag, hash string, solve func(context.Context) (*api.Response, error)) (*api.Response, string, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[fp]; ok {
 		select {
@@ -98,7 +155,7 @@ func (c *cache) do(ctx context.Context, fp, tag string, solve func(context.Conte
 	if c.timeout > 0 {
 		sctx, cancel = context.WithTimeout(c.base, c.timeout)
 	}
-	e := &entry{fp: fp, tag: tag, done: make(chan struct{}), cancel: cancel, waiters: 1}
+	e := &entry{fp: fp, tag: tag, hash: hash, done: make(chan struct{}), cancel: cancel, waiters: 1}
 	c.entries[fp] = e
 	c.mu.Unlock()
 	c.col.Add(telemetry.ServiceCacheMisses, 1)
@@ -109,11 +166,14 @@ func (c *cache) do(ctx context.Context, fp, tag string, solve func(context.Conte
 }
 
 // run executes the solve and commits the outcome: successes stay
-// cached (with FIFO eviction), failures free the slot so the next
-// identical request retries.
+// cached (with FIFO eviction, write-through to the store when one is
+// attached), failures free the slot so the next identical request
+// retries.
 func (c *cache) run(sctx context.Context, e *entry, solve func(context.Context) (*api.Response, error)) {
 	resp, err := solve(sctx)
 	e.cancel()
+	var evicted []string
+	owned := false
 	c.mu.Lock()
 	e.resp, e.err = resp, err
 	close(e.done)
@@ -124,33 +184,52 @@ func (c *cache) run(sctx context.Context, e *entry, solve func(context.Context) 
 			delete(c.entries, e.fp)
 		}
 	} else {
+		owned = c.entries[e.fp] == e
 		c.order = append(c.order, e.fp)
 		for len(c.order) > c.max {
 			old := c.order[0]
 			c.order = c.order[1:]
 			if oe, ok := c.entries[old]; ok && oe != e {
 				delete(c.entries, old)
+				evicted = append(evicted, old)
 			}
 		}
 	}
 	c.mu.Unlock()
+	if c.store == nil {
+		return
+	}
+	for _, fp := range evicted {
+		c.store.remove(fp)
+	}
+	// Persist only results still in the map: a concurrent mutation may
+	// have evicted the entry between commit and here, and re-creating
+	// its file would resurrect a superseded answer. (Stamped mutable
+	// entries are additionally dropped wholesale on reload.)
+	if err == nil && owned {
+		if perr := c.store.save(e.fp, e.tag, e.hash, resp); perr != nil {
+			log.Printf("service: write-through failed: %v", perr)
+		} else {
+			c.col.Add(telemetry.ServicePersistWrites, 1)
+		}
+	}
 }
 
 // evictTag removes every completed entry tagged with the graph name —
 // the cache half of the mutation rule: a bumped version changes the
 // fingerprint of all future queries, and evictTag reclaims the memory
-// the unreachable old-version results occupy. In-flight solves are
-// left to finish (their results are keyed by the old fingerprint, so
-// no post-mutation query can ever receive them); whatever they cache
-// is swept by the next eviction or FIFO pressure. Returns the number
-// of entries evicted.
+// the unreachable old-version results occupy (and their persisted
+// files, when a store is attached). In-flight solves are left to
+// finish (their results are keyed by the old fingerprint, so no
+// post-mutation query can ever receive them); whatever they cache is
+// swept by the next eviction or FIFO pressure. Returns the number of
+// entries evicted.
 func (c *cache) evictTag(tag string) int {
 	if tag == "" {
 		return 0
 	}
+	var evicted []string
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
 	for fp, e := range c.entries {
 		if e.tag != tag {
 			continue
@@ -159,11 +238,12 @@ func (c *cache) evictTag(tag string) int {
 		case <-e.done:
 			if e.err == nil {
 				delete(c.entries, fp)
-				n++
+				evicted = append(evicted, fp)
 			}
 		default: // in flight: leave it to complete against its old key
 		}
 	}
+	n := len(evicted)
 	if n > 0 {
 		keep := c.order[:0]
 		for _, fp := range c.order {
@@ -173,6 +253,12 @@ func (c *cache) evictTag(tag string) int {
 		}
 		c.order = keep
 		c.col.Add(telemetry.ServiceEvictions, int64(n))
+	}
+	c.mu.Unlock()
+	if c.store != nil {
+		for _, fp := range evicted {
+			c.store.remove(fp)
+		}
 	}
 	return n
 }

@@ -36,7 +36,7 @@ func TestSingleflightCollapses(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, outcome, err := c.do(context.Background(), "fp", "", solve)
+			resp, outcome, err := c.do(context.Background(), "fp", "", "", solve)
 			if err != nil {
 				t.Errorf("caller %d: %v", i, err)
 				return
@@ -74,7 +74,7 @@ func TestSingleflightCollapses(t *testing.T) {
 	}
 
 	// A fresh call replays from the completed cache without solving.
-	resp, outcome, err := c.do(context.Background(), "fp", "", solve)
+	resp, outcome, err := c.do(context.Background(), "fp", "", "", solve)
 	if err != nil || outcome != outcomeHit {
 		t.Fatalf("replay: outcome=%q err=%v, want hit", outcome, err)
 	}
@@ -92,7 +92,7 @@ func TestCacheErrorsNotCached(t *testing.T) {
 	c := newCache(context.Background(), 0, 0, telemetry.New())
 	boom := errors.New("boom")
 	fail := func(context.Context) (*api.Response, error) { return nil, boom }
-	if _, _, err := c.do(context.Background(), "fp", "", fail); !errors.Is(err, boom) {
+	if _, _, err := c.do(context.Background(), "fp", "", "", fail); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if got := c.len(); got != 0 {
@@ -101,7 +101,7 @@ func TestCacheErrorsNotCached(t *testing.T) {
 	ok := func(context.Context) (*api.Response, error) {
 		return &api.Response{Op: api.OpSLEM}, nil
 	}
-	resp, outcome, err := c.do(context.Background(), "fp", "", ok)
+	resp, outcome, err := c.do(context.Background(), "fp", "", "", ok)
 	if err != nil || resp == nil || outcome != outcomeMiss {
 		t.Fatalf("retry after error: outcome=%q resp=%v err=%v, want a fresh miss", outcome, resp, err)
 	}
@@ -129,7 +129,7 @@ func TestWaiterCancellationDoesNotPoison(t *testing.T) {
 	survivor := make(chan error, 1)
 	go func() {
 		close(started)
-		resp, _, err := c.do(context.Background(), "fp", "", solve)
+		resp, _, err := c.do(context.Background(), "fp", "", "", solve)
 		if err == nil && (resp == nil || resp.SLEM == nil || resp.SLEM.Mu != 0.25) {
 			err = errors.New("survivor got a mangled response")
 		}
@@ -143,7 +143,7 @@ func TestWaiterCancellationDoesNotPoison(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	joined := make(chan error, 1)
 	go func() {
-		_, outcome, err := c.do(ctx, "fp", "", solve)
+		_, outcome, err := c.do(ctx, "fp", "", "", solve)
 		if outcome != outcomeJoin {
 			err = errors.New("expected to join the in-flight solve, got " + outcome)
 		}
@@ -178,7 +178,7 @@ func TestLastWaiterCancelsSolve(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := c.do(ctx, "fp", "", solve)
+		_, _, err := c.do(ctx, "fp", "", "", solve)
 		done <- err
 	}()
 	waitForEntry(t, c, "fp")
@@ -207,14 +207,14 @@ func TestCacheEviction(t *testing.T) {
 		return &api.Response{Op: api.OpSLEM}, nil
 	}
 	for _, fp := range []string{"a", "b", "c"} {
-		if _, _, err := c.do(context.Background(), fp, "", ok); err != nil {
+		if _, _, err := c.do(context.Background(), fp, "", "", ok); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if got := c.len(); got != 2 {
 		t.Fatalf("entries = %d, want 2 (oldest evicted)", got)
 	}
-	if _, outcome, _ := c.do(context.Background(), "a", "", ok); outcome != outcomeMiss {
+	if _, outcome, _ := c.do(context.Background(), "a", "", "", ok); outcome != outcomeMiss {
 		t.Fatalf("evicted entry outcome = %q, want miss", outcome)
 	}
 }

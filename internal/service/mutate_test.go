@@ -25,7 +25,10 @@ func newMutableServer(t *testing.T) (*Server, *api.Client) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
-	s := New(ctx, reg, Config{Collector: col})
+	s, err := New(ctx, reg, Config{Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, api.NewClient(ts.URL)

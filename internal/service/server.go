@@ -13,6 +13,14 @@
 // (workers, block size) are excluded, and a solve belongs to the
 // server lifecycle rather than to whichever request started it, so a
 // cancelled waiter never poisons the shared result.
+//
+// The serving plane is overload-hardened (DESIGN.md §14): a bounded
+// wait-queue in front of the solve pool sheds overflow with 429 +
+// Retry-After instead of queueing goroutines without bound, every
+// solve runs under a recover barrier so a poisoned query costs one
+// 500 envelope rather than the process, and completed results can be
+// written through to a crash-safe on-disk store that warm-loads at
+// the next startup.
 package service
 
 import (
@@ -20,14 +28,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand/v2"
 	"net/http"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mixtime/internal/api"
 	"mixtime/internal/evolve"
+	"mixtime/internal/faults"
 	"mixtime/internal/graph"
 	"mixtime/internal/runner"
 	"mixtime/internal/telemetry"
@@ -39,48 +50,120 @@ type Config struct {
 	// and singleflight joins never consume a slot — only actual work
 	// queues here.
 	PoolSize int
+	// MaxQueue bounds how many solves may wait for a pool slot at
+	// once; overflow is shed immediately with 429 + Retry-After
+	// (0 = 8×pool, negative = no queue: shed whenever the pool is
+	// busy).
+	MaxQueue int
+	// MaxQueueWait caps how long a queued solve waits for a pool slot
+	// before being shed with 429 (0 = 1s).
+	MaxQueueWait time.Duration
 	// CacheMax bounds the completed-result cache; the oldest entries
 	// are evicted first (0 = a generous default).
 	CacheMax int
+	// CacheDir, when set, persists completed results to disk
+	// (write-through, temp+rename) and warm-loads them at startup, so
+	// cached answers survive a crash or restart.
+	CacheDir string
 	// SolveTimeout caps any single solve regardless of the requester's
 	// deadline (0 = none).
 	SolveTimeout time.Duration
+	// Injector, when non-nil, arms deterministic fault injection on
+	// the solve path (mixtimed -inject) — the chaos switch the
+	// containment paths are smoke-tested through.
+	Injector *faults.Injector
 	// Collector receives the service_* counters and the kernel
 	// telemetry from every solve (nil = a private collector).
 	Collector *telemetry.Collector
 }
 
+// errOverload marks an admission-control rejection: the request was
+// shed, not failed — the client should retry after a beat.
+var errOverload = errors.New("service: overloaded")
+
+// retryAfter is the hint written on every 429/503 response. Shed
+// waves drain within about a second at any realistic solve latency,
+// so a finer-grained hint (the header only speaks whole seconds)
+// buys nothing.
+const retryAfter = "1"
+
 // Server answers mixing-time queries over a fixed graph registry. It
 // is constructed once (New), serves via Handler, and is torn down
 // with Drain: new requests are rejected while in-flight ones finish.
 type Server struct {
-	reg   *Registry
-	pool  *runner.Pool
-	cache *cache
-	col   *telemetry.Collector
-	start time.Time
+	reg       *Registry
+	pool      *runner.Pool
+	cache     *cache
+	col       *telemetry.Collector
+	inject    *faults.Injector
+	queue     chan struct{}
+	queueWait time.Duration
+	start     time.Time
 
-	mu       sync.Mutex
-	draining bool
-	inflight sync.WaitGroup
-	active   atomic.Int64
+	mu         sync.Mutex
+	draining   bool
+	inflight   sync.WaitGroup
+	active     atomic.Int64
+	queueDepth atomic.Int64
 }
 
 // New builds a Server over the registry. ctx is the server lifecycle:
 // when it dies, in-flight solves are cancelled (a solve belongs to
-// the daemon, not to the request that happened to start it).
-func New(ctx context.Context, reg *Registry, cfg Config) *Server {
+// the daemon, not to the request that happened to start it). The
+// error path is the persistent cache: an unusable CacheDir refuses to
+// start rather than silently serving memory-only.
+func New(ctx context.Context, reg *Registry, cfg Config) (*Server, error) {
 	col := cfg.Collector
 	if col == nil {
 		col = telemetry.New()
 	}
-	return &Server{
-		reg:   reg,
-		pool:  runner.NewPool(cfg.PoolSize),
-		cache: newCache(ctx, cfg.SolveTimeout, cfg.CacheMax, col),
-		col:   col,
-		start: time.Now(),
+	pool := runner.NewPool(cfg.PoolSize)
+	maxQueue := cfg.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = 8 * pool.Size()
 	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	queueWait := cfg.MaxQueueWait
+	if queueWait <= 0 {
+		queueWait = time.Second
+	}
+	s := &Server{
+		reg:       reg,
+		pool:      pool,
+		cache:     newCache(ctx, cfg.SolveTimeout, cfg.CacheMax, col),
+		col:       col,
+		inject:    cfg.Injector,
+		queue:     make(chan struct{}, maxQueue),
+		queueWait: queueWait,
+		start:     time.Now(),
+	}
+	if cfg.CacheDir != "" {
+		store, err := openDiskStore(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.attachStore(store)
+		// Reload rule: keep graph-independent results (experiments) and
+		// results whose graph is still registered, immutable, and
+		// content-identical. Version-stamped mutable-graph entries are
+		// always dropped — mutation epochs restart at zero after a
+		// reboot, so a stamp from the previous life could alias a
+		// different edge set.
+		n, err := s.cache.warmLoad(func(tag, hash string) bool {
+			if tag == "" {
+				return true
+			}
+			e, ok := reg.Get(tag)
+			return ok && e.Mutable() == nil && e.Hash == hash
+		})
+		if err != nil {
+			return nil, err
+		}
+		col.Add(telemetry.ServiceCacheLoaded, int64(n))
+	}
+	return s, nil
 }
 
 // Collector exposes the server's telemetry for tests and /stats.
@@ -124,12 +207,44 @@ func (s *Server) enter() bool {
 	return true
 }
 
+// acquireSolveSlot is the admission gate in front of the solve pool:
+// a free slot is taken immediately; otherwise the solve enters the
+// bounded wait-queue and is shed (errOverload) when the queue is full
+// or the queue wait expires. Shed solves fail fast — the whole point
+// is that a burst beyond pool+queue capacity costs the daemon a 429
+// write, not a parked goroutine.
+func (s *Server) acquireSolveSlot(sctx context.Context) (release func(), err error) {
+	if s.pool.TryAcquire() {
+		return s.pool.Release, nil
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, fmt.Errorf("%w: wait queue full (%d waiting)", errOverload, cap(s.queue))
+	}
+	s.col.ObserveMax(telemetry.ServiceQueueDepth, s.queueDepth.Add(1))
+	defer func() {
+		s.queueDepth.Add(-1)
+		<-s.queue
+	}()
+	wctx, cancel := context.WithTimeout(sctx, s.queueWait)
+	defer cancel()
+	if err := s.pool.Acquire(wctx); err != nil {
+		if wctx.Err() != nil && sctx.Err() == nil {
+			return nil, fmt.Errorf("%w: no solve slot within %v", errOverload, s.queueWait)
+		}
+		return nil, err
+	}
+	return s.pool.Release, nil
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "", errors.New("service: POST only"))
 		return
 	}
 	if !s.enter() {
+		w.Header().Set("Retry-After", retryAfter)
 		httpError(w, http.StatusServiceUnavailable, "", errors.New("service: draining"))
 		return
 	}
@@ -182,22 +297,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	resp, outcome, err := s.cache.do(ctx, fp, tag, func(sctx context.Context) (*api.Response, error) {
+	resp, outcome, err := s.cache.do(ctx, fp, tag, graphHash, func(sctx context.Context) (resp *api.Response, err error) {
 		// The pool slot is acquired inside the solve so hits and joins
 		// bypass the queue entirely; queueing is charged to the solve's
 		// context, not to any single waiter.
-		if err := s.pool.Acquire(sctx); err != nil {
+		release, err := s.acquireSolveSlot(sctx)
+		if err != nil {
 			return nil, err
 		}
-		defer s.pool.Release()
+		defer release()
+		// Recover barrier: a panic anywhere below — a poisoned graph, a
+		// solver bug, an injected fault — becomes an ordinary error on
+		// this one entry. The cache never stores errors, so the panic is
+		// not cached either: the next identical request re-solves.
+		defer func() {
+			if v := recover(); v != nil {
+				s.col.Add(telemetry.ServicePanics, 1)
+				resp = nil
+				err = &runner.PanicError{Experiment: req.Op, Value: v, Stack: debug.Stack()}
+				log.Printf("service: contained solve panic (op=%s fp=%.12s): %v", req.Op, fp, v)
+			}
+		}()
+		if err := s.inject.Inject(sctx); err != nil {
+			return nil, err
+		}
 		return solve(sctx, req, entry, s.col)
 	})
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			status = http.StatusGatewayTimeout
-		}
-		s.fail(w, status, req, err)
+		s.failQuery(w, r, req, err)
 		return
 	}
 
@@ -208,6 +335,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	out.CacheHit = outcome == outcomeHit
 	out.ElapsedNS = time.Since(started).Nanoseconds()
 	writeJSON(w, http.StatusOK, &out)
+}
+
+// failQuery maps a solve failure to its status and envelope:
+//
+//   - client gone: no envelope at all — there is nobody to answer, so
+//     the disconnect is logged and counted (service_client_gone), never
+//     inflated into service_errors
+//   - shed (errOverload): 429 + Retry-After, counted as service_shed
+//   - contained panic: 500 envelope, the panic value as the error
+//   - solve deadline: 504
+//   - solve cancelled by the server lifecycle (shutdown): 503 + Retry-After
+//   - anything else: 500
+func (s *Server) failQuery(w http.ResponseWriter, r *http.Request, req api.Request, err error) {
+	var pe *runner.PanicError
+	switch {
+	case r.Context().Err() != nil:
+		s.col.Add(telemetry.ServiceClientGone, 1)
+		log.Printf("service: client gone mid-query (op=%s): %v", req.Op, err)
+	case errors.Is(err, errOverload):
+		s.col.Add(telemetry.ServiceShed, 1)
+		w.Header().Set("Retry-After", retryAfter)
+		httpError(w, http.StatusTooManyRequests, req.Op, err)
+	case errors.As(err, &pe):
+		s.fail(w, http.StatusInternalServerError, req, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout, req, err)
+	case errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", retryAfter)
+		s.fail(w, http.StatusServiceUnavailable, req,
+			fmt.Errorf("service: solve cancelled by shutdown: %w", err))
+	default:
+		s.fail(w, http.StatusInternalServerError, req, err)
+	}
 }
 
 // handleMutate applies one mutation batch to a registered mutable
@@ -223,6 +383,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.enter() {
+		w.Header().Set("Retry-After", retryAfter)
 		s.mutateFail(w, http.StatusServiceUnavailable, "", errors.New("service: draining"))
 		return
 	}
@@ -305,6 +466,10 @@ func (s *Server) fail(w http.ResponseWriter, status int, req api.Request, err er
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "", errors.New("service: GET only"))
+		return
+	}
 	writeJSON(w, http.StatusOK, api.GraphsResponse{
 		SchemaVersion: api.SchemaVersion,
 		Graphs:        s.reg.List(),
@@ -312,10 +477,15 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
+		w.Header().Set("Retry-After", retryAfter)
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -324,12 +494,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "", errors.New("service: GET only"))
+		return
+	}
 	writeJSON(w, http.StatusOK, api.StatsResponse{
 		SchemaVersion: api.SchemaVersion,
 		UptimeNS:      time.Since(s.start).Nanoseconds(),
 		Pool:          s.pool.Size(),
 		Graphs:        s.reg.Len(),
 		CacheEntries:  s.cache.len(),
+		QueueDepth:    int(s.queueDepth.Load()),
 		Telemetry:     s.col.Snapshot(),
 	})
 }

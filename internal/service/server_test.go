@@ -35,7 +35,10 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server, *api.Client) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
-	s := New(ctx, reg, Config{Collector: telemetry.New()})
+	s, err := New(ctx, reg, Config{Collector: telemetry.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	c := api.NewClient(ts.URL)

@@ -120,6 +120,24 @@ const (
 	// ServiceEvictions counts completed cache entries dropped because
 	// the graph they were computed on mutated underneath them.
 	ServiceEvictions
+	// ServiceShed counts requests rejected by admission control —
+	// answered 429 because the solve wait-queue was full or the queue
+	// wait expired — instead of piling onto the pool.
+	ServiceShed
+	// ServicePanics counts solves that panicked and were contained by
+	// the per-solve recover barrier: each one is a 500 envelope to the
+	// requester and nothing worse.
+	ServicePanics
+	// ServiceClientGone counts queries whose client disconnected while
+	// the request was in flight — logged and counted, never reported as
+	// a service error (there is nobody left to answer).
+	ServiceClientGone
+	// ServicePersistWrites counts completed results written through to
+	// the on-disk cache (mixtimed -cache-dir).
+	ServicePersistWrites
+	// ServiceCacheLoaded counts completed results warm-loaded from the
+	// on-disk cache at startup — answers that survived a restart.
+	ServiceCacheLoaded
 
 	// The evolve_* counters below are incremented by the evolving-graph
 	// subsystem (internal/evolve): epoch rebuilds and the edge churn
@@ -166,6 +184,11 @@ var counterNames = [numCounters]string{
 	"service_errors",
 	"service_mutations",
 	"service_evictions",
+	"service_shed",
+	"service_panics",
+	"service_client_gone",
+	"service_persist_writes",
+	"service_cache_loaded",
 	"evolve_epochs",
 	"evolve_edges_inserted",
 	"evolve_edges_deleted",
@@ -194,6 +217,10 @@ const (
 	// MaxInflightRequests is the peak number of service queries being
 	// answered at once — how close the daemon came to its pool bound.
 	MaxInflightRequests
+	// ServiceQueueDepth is the peak number of solves waiting in the
+	// admission queue for a pool slot — how close the daemon came to
+	// shedding load.
+	ServiceQueueDepth
 
 	numGauges
 )
@@ -202,6 +229,7 @@ var gaugeNames = [numGauges]string{
 	"shard_imbalance_milli",
 	"max_graph_adjacency",
 	"max_inflight_requests",
+	"service_queue_depth",
 }
 
 // String returns the gauge's stable snake_case key.

@@ -55,7 +55,7 @@ echo "== fault-tolerance race gate =="
 # are the most concurrency-sensitive code in the repo; re-run them
 # uncached so a cached pass can never mask a freshly introduced race.
 go test -race -count=1 ./internal/runner ./internal/telemetry ./internal/checkpoint \
-	./internal/api ./internal/service ./internal/distmix ./internal/evolve
+	./internal/api ./internal/service ./internal/distmix ./internal/evolve ./internal/faults
 
 echo "== graphio fuzz corpus =="
 # Execute the seed corpus of every fuzz target (no fuzzing engine —
@@ -178,6 +178,130 @@ smoke_pid=""
 cleanup_smoke
 trap - EXIT
 echo "burst ok, 1 solve, graceful shutdown"
+
+echo "== chaos smoke (fault injection + crash recovery) =="
+# The overload-hardening gate (DESIGN.md §14), in two acts.
+#
+# Act 1: boot a deliberately tiny daemon (pool 2, queue 2, 100ms queue
+# wait) with deterministic fault injection armed — the first four
+# solves panic, every solve stalls 40ms — and fire a 16-way mixload
+# burst at it with retries enabled. The burst must finish with ZERO
+# hard errors while the shed and retried counts are both nonzero and
+# the daemon counted the contained panics: overload and injected
+# failure cost retries, never dropped requests or a dead process.
+#
+# Act 2: SIGKILL the daemon (no graceful flush), restart it over the
+# same -cache-dir without injection, and repeat an exact query from
+# before the kill. It must come back as a cache hit with exactly zero
+# new solves: answers survive the crash.
+chaos_dir=$(mktemp -d)
+cleanup_chaos() {
+	if [ -n "${chaos_pid:-}" ]; then
+		kill -9 "$chaos_pid" 2>/dev/null || true
+		wait "$chaos_pid" 2>/dev/null || true
+	fi
+	rm -rf "$chaos_dir"
+}
+trap cleanup_chaos EXIT
+go build -o "$chaos_dir/mixtimed" ./cmd/mixtimed
+go build -o "$chaos_dir/mixload" ./cmd/mixload
+"$chaos_dir/mixtimed" -datasets physics-1 -scale 0.002 \
+	-pool 2 -max-queue 2 -max-queue-wait 100ms \
+	-cache-dir "$chaos_dir/cache" -inject 'seed=7,panic=1:4,latency=40ms' \
+	-addr 127.0.0.1:0 -addr-file "$chaos_dir/addr" >"$chaos_dir/daemon.log" 2>&1 &
+chaos_pid=$!
+tries=0
+while [ ! -s "$chaos_dir/addr" ]; do
+	tries=$((tries + 1))
+	if [ "$tries" -gt 100 ]; then
+		echo "mixtimed (chaos) never published its address" >&2
+		cat "$chaos_dir/daemon.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+chaos_addr=$(cat "$chaos_dir/addr")
+# 16 workers over capacity 4 (pool+queue) guarantees sheds; the capped
+# always-fire panic spec guarantees exactly 4 contained panics; the
+# retry budget is generous enough that every request finishes. A
+# nonzero exit here (any hard error) fails the whole gate via set -e.
+"$chaos_dir/mixload" -addr "$chaos_addr" -op slem -n 48 -c 16 -distinct 12 \
+	-retries 12 -hedge 60ms >"$chaos_dir/load.out"
+cat "$chaos_dir/load.out"
+shed=$(grep -o '[0-9]* shed' "$chaos_dir/load.out" | grep -o '[0-9]*' || true)
+retried=$(grep -o '[0-9]* retried' "$chaos_dir/load.out" | grep -o '[0-9]*' || true)
+if [ "${shed:-0}" -le 0 ] || [ "${retried:-0}" -le 0 ]; then
+	echo "chaos smoke: shed=${shed:-0} retried=${retried:-0}, want both > 0" >&2
+	exit 1
+fi
+# Telemetry snapshots omit zero-valued counters, so every grep below
+# may legitimately match nothing — `|| true` keeps set -e out of it
+# and the ${var:-0} defaults treat "absent" as zero.
+panics=$(curl -s "http://$chaos_addr/stats" | grep -o '"service_panics": *[0-9]*' | grep -o '[0-9]*$' || true)
+if [ "${panics:-0}" -le 0 ]; then
+	echo "chaos smoke: service_panics = ${panics:-0}, want > 0" >&2
+	exit 1
+fi
+# A marker query whose exact body we replay after the crash.
+chaos_q='{"op":"slem","graph":"physics-1","params":{"seed":77}}'
+if ! curl -s -X POST "http://$chaos_addr/v1/query" -d "$chaos_q" | grep -q '"mu"'; then
+	echo "chaos smoke: marker query failed pre-kill" >&2
+	exit 1
+fi
+# The write-through is asynchronous with the answer: wait for all 13
+# distinct results (12 burst fingerprints + the marker) to land on
+# disk before pulling the plug.
+tries=0
+while :; do
+	persisted=$(curl -s "http://$chaos_addr/stats" |
+		grep -o '"service_persist_writes": *[0-9]*' | grep -o '[0-9]*$' || true)
+	[ "${persisted:-0}" -ge 13 ] && break
+	tries=$((tries + 1))
+	if [ "$tries" -gt 100 ]; then
+		echo "chaos smoke: only ${persisted:-0}/13 results persisted" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+kill -9 "$chaos_pid"
+wait "$chaos_pid" 2>/dev/null || true
+chaos_pid=""
+rm -f "$chaos_dir/addr"
+"$chaos_dir/mixtimed" -datasets physics-1 -scale 0.002 \
+	-cache-dir "$chaos_dir/cache" \
+	-addr 127.0.0.1:0 -addr-file "$chaos_dir/addr" >"$chaos_dir/daemon2.log" 2>&1 &
+chaos_pid=$!
+tries=0
+while [ ! -s "$chaos_dir/addr" ]; do
+	tries=$((tries + 1))
+	if [ "$tries" -gt 100 ]; then
+		echo "mixtimed (chaos restart) never published its address" >&2
+		cat "$chaos_dir/daemon2.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+chaos_addr=$(cat "$chaos_dir/addr")
+replay=$(curl -s -X POST "http://$chaos_addr/v1/query" -d "$chaos_q")
+if ! printf '%s' "$replay" | grep -q '"cache_hit": *true'; then
+	echo "chaos smoke: marker query missed the cache after the crash restart" >&2
+	echo "$replay" >&2
+	exit 1
+fi
+resolves=$(curl -s "http://$chaos_addr/stats" | grep -o '"service_solves": *[0-9]*' | grep -o '[0-9]*$' || true)
+# An absent counter IS the pass condition: zero-valued counters are
+# omitted from the snapshot, and the replay check above already proved
+# the daemon is alive and answering.
+if [ "${resolves:-0}" != "0" ]; then
+	echo "chaos smoke: restart answered with ${resolves:-?} new solves, want exactly 0" >&2
+	exit 1
+fi
+kill -INT "$chaos_pid"
+wait "$chaos_pid" || { echo "mixtimed (chaos restart) did not shut down cleanly" >&2; exit 1; }
+chaos_pid=""
+cleanup_chaos
+trap - EXIT
+echo "chaos ok: $shed shed, $retried retried, $panics panics contained, crash replay hit with 0 solves"
 
 echo "== zero-alloc kernel gate (live) =="
 # The steady-state matvec kernels must not touch the allocator: run
